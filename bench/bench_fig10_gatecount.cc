@@ -1,0 +1,58 @@
+/**
+ * Regenerates paper Figure 10: two-qudit gate counts of the N-controlled
+ * Generalized Toffoli (paper: ~397N QUBIT, ~48N QUBIT+ANCILLA, ~6N QUTRIT).
+ */
+#include <cstdio>
+
+#include "analysis/fit.h"
+#include "analysis/resources.h"
+#include "analysis/table.h"
+#include "bench_util.h"
+
+using namespace qd;
+using namespace qd::analysis;
+
+int
+main()
+{
+    bench::banner("Figure 10 - two-qudit gate count vs N",
+                  "Paper curves: QUBIT ~397N, QUBIT+ANCILLA ~48N, QUTRIT "
+                  "~6N (ours ~7N: the verified\ncube-root CC decomposition "
+                  "uses 7 two-qutrit gates per tree gate; see DESIGN.md "
+                  "substitution #5).");
+
+    const std::vector<int> ns = figure_sweep_ns();
+    const auto qutrit = sweep_resources(ctor::Method::kQutrit, ns);
+    const auto borrow = sweep_resources(ctor::Method::kQubitDirtyAncilla,
+                                        ns);
+    const auto qubit = sweep_resources(ctor::Method::kQubitNoAncilla, ns);
+
+    Table t({"N", "QUBIT", "QUBIT+ANCILLA", "QUTRIT"});
+    for (std::size_t i = 0; i < ns.size(); ++i) {
+        t.add_row({std::to_string(ns[i]),
+                   std::to_string(qubit[i].two_qudit),
+                   std::to_string(borrow[i].two_qudit),
+                   std::to_string(qutrit[i].two_qudit)});
+    }
+    std::printf("%s\n", t.render("Two-qudit gate count").c_str());
+
+    std::vector<Real> x, gq3, gb;
+    for (std::size_t i = 0; i < ns.size(); ++i) {
+        if (ns[i] < 25) {
+            continue;
+        }
+        x.push_back(ns[i]);
+        gq3.push_back(static_cast<Real>(qutrit[i].two_qudit));
+        gb.push_back(static_cast<Real>(borrow[i].two_qudit));
+    }
+    Table f({"series", "measured", "paper"});
+    f.add_row({"QUTRIT 2q gates", fmt(fit_proportional(x, gq3), 1) + " * N",
+               "6 * N"});
+    f.add_row({"QUBIT+ANCILLA 2q gates",
+               fmt(fit_proportional(x, gb), 1) + " * N", "48 * N"});
+    const std::size_t q13 = qubit[5].two_qudit;  // N = 13 anchor
+    f.add_row({"QUBIT 2q gates at N=13", std::to_string(q13),
+               "~5161 (397 * 13)"});
+    std::printf("%s\n", f.render("Fitted constants").c_str());
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * Regenerates paper Figure 7 / Section 5.3: the ancilla-free qutrit
+ * incrementer. Verifies the N=8 instance matches the figure's gate layout,
+ * checks correctness exhaustively, and sweeps depth vs N against the qubit
+ * staircase baseline (paper: log^2 N vs linear/quadratic alternatives).
+ */
+#include <cstdio>
+
+#include "analysis/fit.h"
+#include "analysis/table.h"
+#include "bench_util.h"
+#include "constructions/incrementer.h"
+#include "qdsim/classical.h"
+
+using namespace qd;
+using namespace qd::analysis;
+using namespace qd::ctor;
+
+int
+main()
+{
+    bench::banner("Figure 7 / Section 5.3 - ancilla-free incrementer",
+                  "Qutrit carry encoding: |2>-generate control + "
+                  "|1>-propagate chains + |0>-restores.\nDepth O(log^2 N) "
+                  "with zero ancilla (paper); baseline: qubit staircase.");
+
+    // Figure 7 layout check at N=8 (atomic granularity).
+    const Circuit fig7 = build_qutrit_incrementer(8, IncGranularity::kAtomic);
+    std::printf("N=8 atomic instance: %zu gate boxes (paper Figure 7: 12)\n",
+                fig7.num_ops());
+    int ok = 0, total = 0;
+    for (int x = 0; x < 256; ++x) {
+        std::vector<int> digits(8);
+        for (int b = 0; b < 8; ++b) {
+            digits[static_cast<std::size_t>(b)] = (x >> b) & 1;
+        }
+        const auto out = classical_run(fig7, digits);
+        int v = 0;
+        for (int b = 0; b < 8; ++b) {
+            v |= out[static_cast<std::size_t>(b)] << b;
+        }
+        ++total;
+        if (v == ((x + 1) & 255)) {
+            ++ok;
+        }
+    }
+    std::printf("exhaustive verification: %d/%d inputs correct\n\n", ok,
+                total);
+
+    Table t({"N", "qutrit depth", "qutrit 2q gates", "staircase depth",
+             "staircase 2q gates"});
+    std::vector<Real> xs, dq;
+    for (const int n : {4, 8, 16, 32, 64, 128}) {
+        const Circuit q = build_qutrit_incrementer(n);
+        const Circuit s = build_qubit_staircase_incrementer(n);
+        t.add_row({std::to_string(n), std::to_string(q.depth()),
+                   std::to_string(q.two_qudit_count()),
+                   std::to_string(s.depth()),
+                   std::to_string(s.two_qudit_count())});
+        xs.push_back(n);
+        dq.push_back(q.depth());
+    }
+    std::printf("%s\n", t.render("Incrementer resources vs N").c_str());
+
+    // log^2 check: depth / log2(N)^2 should be roughly constant.
+    Table l({"N", "depth / log2(N)^2"});
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const Real lg = std::log2(xs[i]);
+        l.add_row({std::to_string(static_cast<int>(xs[i])),
+                   fmt(dq[i] / (lg * lg), 2)});
+    }
+    std::printf("%s\n", l.render("Depth normalised by log^2").c_str());
+    return 0;
+}

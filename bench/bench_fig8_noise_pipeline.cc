@@ -1,0 +1,61 @@
+/**
+ * Regenerates paper Figure 8 / Algorithm 1: the moment-structured noise
+ * pipeline. Shows the ASAP schedule of a sample circuit, the gate-error and
+ * idle-error operations inserted per moment, and the resulting error-op
+ * accounting for the benchmarked width.
+ */
+#include <cstdio>
+
+#include "analysis/table.h"
+#include "bench_util.h"
+#include "constructions/gen_toffoli.h"
+#include "noise/models.h"
+#include "qdsim/moments.h"
+
+using namespace qd;
+using namespace qd::analysis;
+
+int
+main()
+{
+    bench::banner("Figure 8 / Algorithm 1 - noise simulation pipeline",
+                  "Each Moment: ideal gates -> per-operand gate error -> "
+                  "per-wire idle error whose\nduration depends on whether "
+                  "the moment holds a multi-qudit gate.");
+
+    const int n_controls = bench::env_int("QUTRITS_WIDTH", 10) - 1;
+    const auto model = noise::sc();
+
+    Table t({"circuit", "moments", "short (1q) moments",
+             "long (2q) moments", "gate-error draws", "idle-error draws",
+             "total idle time"});
+    for (const auto method :
+         {ctor::Method::kQutrit, ctor::Method::kQubitNoAncilla,
+          ctor::Method::kQubitDirtyAncilla}) {
+        const auto built = ctor::build_gen_toffoli(method, n_controls);
+        const auto moments = schedule_asap(built.circuit);
+        std::size_t short_m = 0, long_m = 0, gate_draws = 0;
+        Real idle_time = 0;
+        for (const auto& m : moments) {
+            (m.has_multi_qudit ? long_m : short_m) += 1;
+            gate_draws += m.op_indices.size();
+            idle_time += model.moment_duration(m.has_multi_qudit) *
+                         static_cast<Real>(built.circuit.num_wires());
+        }
+        const std::size_t idle_draws =
+            moments.size() *
+            static_cast<std::size_t>(built.circuit.num_wires());
+        t.add_row({built.label, std::to_string(moments.size()),
+                   std::to_string(short_m), std::to_string(long_m),
+                   std::to_string(gate_draws), std::to_string(idle_draws),
+                   fmt_sci(idle_time, 2) + " s"});
+    }
+    std::printf("%s\n",
+                t.render("Moment/error accounting at width " +
+                         std::to_string(n_controls + 1) + " (SC model)")
+                    .c_str());
+    std::printf("Idle errors scale with depth: the qutrit construction's "
+                "shorter schedule is exactly\nwhy it wins under "
+                "idle-dominated (superconducting) noise.\n");
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * Regenerates paper Figure 9: circuit depth of the N-controlled Generalized
+ * Toffoli for QUBIT, QUBIT+ANCILLA and QUTRIT, N up to 200, plus fitted
+ * constants (paper: ~633N, ~76N, ~38 log2 N).
+ */
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/fit.h"
+#include "analysis/resources.h"
+#include "analysis/table.h"
+#include "bench_util.h"
+
+using namespace qd;
+using namespace qd::analysis;
+
+int
+main()
+{
+    bench::banner("Figure 9 - Generalized Toffoli circuit depth vs N",
+                  "Paper curves: QUBIT ~633N (Gidney; here the documented "
+                  "quadratic ancilla-free substitute),\n"
+                  "QUBIT+ANCILLA ~76N, QUTRIT ~38*log2(N). See DESIGN.md "
+                  "substitution #1.");
+
+    const std::vector<int> ns = figure_sweep_ns();
+    const auto qutrit = sweep_resources(ctor::Method::kQutrit, ns);
+    const auto borrow = sweep_resources(ctor::Method::kQubitDirtyAncilla,
+                                        ns);
+    const auto qubit = sweep_resources(ctor::Method::kQubitNoAncilla, ns);
+
+    Table t({"N", "QUBIT", "QUBIT+ANCILLA", "QUTRIT"});
+    for (std::size_t i = 0; i < ns.size(); ++i) {
+        t.add_row({std::to_string(ns[i]), std::to_string(qubit[i].depth),
+                   std::to_string(borrow[i].depth),
+                   std::to_string(qutrit[i].depth)});
+    }
+    std::printf("%s\n", t.render("Circuit depth (moments)").c_str());
+
+    // Fits over the asymptotic tail (N >= 25).
+    std::vector<Real> x, dq3, db, dq2;
+    for (std::size_t i = 0; i < ns.size(); ++i) {
+        if (ns[i] < 25) {
+            continue;
+        }
+        x.push_back(ns[i]);
+        dq3.push_back(qutrit[i].depth);
+        db.push_back(borrow[i].depth);
+        dq2.push_back(qubit[i].depth);
+    }
+    const Real c_qutrit = fit_log2_coefficient(x, dq3);
+    const Real c_borrow = fit_proportional(x, db);
+    const Real e_qubit = fit_power_law_exponent(x, dq2);
+    const Real e_borrow = fit_power_law_exponent(x, db);
+    const Real e_qutrit = fit_power_law_exponent(x, dq3);
+
+    Table f({"series", "measured", "paper", "scaling exponent"});
+    f.add_row({"QUTRIT depth", fmt(c_qutrit, 1) + " * log2(N)",
+               "38 * log2(N)", fmt(e_qutrit, 2)});
+    f.add_row({"QUBIT+ANCILLA depth", fmt(c_borrow, 1) + " * N", "76 * N",
+               fmt(e_borrow, 2)});
+    f.add_row({"QUBIT depth", "quadratic (substitute)", "633 * N (linear)",
+               fmt(e_qubit, 2)});
+    std::printf("%s\n", f.render("Fitted constants").c_str());
+    return 0;
+}

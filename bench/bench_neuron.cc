@@ -1,0 +1,70 @@
+/**
+ * Regenerates paper Section 5.1: the artificial quantum neuron, whose
+ * circuit is dominated by large Generalized Toffoli gates. Reports exact
+ * activation probabilities (vs the analytic (i.w/M)^2) and the resource
+ * advantage of the qutrit activation gate.
+ */
+#include <cstdio>
+
+#include "analysis/table.h"
+#include "apps/neuron.h"
+#include "bench_util.h"
+#include "qdsim/rng.h"
+
+using namespace qd;
+using namespace qd::analysis;
+using namespace qd::apps;
+
+int
+main()
+{
+    bench::banner("Section 5.1 - artificial quantum neuron",
+                  "Hypergraph-state encoding + C^N X activation. The "
+                  "paper's target application: the\nIBM implementation is "
+                  "limited to N = 4 data qubits by ancilla pressure; the "
+                  "qutrit\nactivation needs none.");
+
+    Rng rng(20190501);
+    Table act({"N data qubits", "pattern pair", "P(activate) simulated",
+               "analytic (i.w/M)^2"});
+    for (const int n : {2, 3, 4}) {
+        const std::size_t m = std::size_t{1} << n;
+        for (int pair = 0; pair < 2; ++pair) {
+            std::vector<int> i(m), w(m);
+            for (std::size_t j = 0; j < m; ++j) {
+                i[j] = rng.uniform() < 0.5 ? -1 : 1;
+                w[j] = rng.uniform() < 0.5 ? -1 : 1;
+            }
+            act.add_row({std::to_string(n),
+                         "random#" + std::to_string(pair),
+                         fmt(neuron_activation_probability(
+                                 i, w, NeuronMethod::kQutrit),
+                             4),
+                         fmt(neuron_activation_analytic(i, w), 4)});
+        }
+    }
+    std::printf("%s\n",
+                act.render("Neuron activation (qutrit method)").c_str());
+
+    Table res({"N", "qutrit depth", "qutrit 2q", "qubit depth",
+               "qubit 2q"});
+    for (const int n : {2, 3, 4, 5, 6}) {
+        const std::size_t m = std::size_t{1} << n;
+        std::vector<int> i(m, 1), w(m, 1);
+        // Deterministic non-trivial patterns.
+        for (std::size_t j = 0; j < m; ++j) {
+            i[j] = (j % 3 == 0) ? -1 : 1;
+            w[j] = (j % 5 == 0) ? -1 : 1;
+        }
+        const Circuit q3 = build_neuron_circuit(i, w,
+                                                NeuronMethod::kQutrit);
+        const Circuit q2 =
+            build_neuron_circuit(i, w, NeuronMethod::kQubitNoAncilla);
+        res.add_row({std::to_string(n), std::to_string(q3.depth()),
+                     std::to_string(q3.two_qudit_count()),
+                     std::to_string(q2.depth()),
+                     std::to_string(q2.two_qudit_count())});
+    }
+    std::printf("%s\n", res.render("Neuron circuit resources").c_str());
+    return 0;
+}

@@ -1,0 +1,36 @@
+/**
+ * @file bench_util.h
+ * Shared helpers for the benchmark binaries: environment-variable knobs and
+ * paper-reference annotations.
+ */
+#ifndef BENCH_BENCH_UTIL_H
+#define BENCH_BENCH_UTIL_H
+
+#include <cstdlib>
+#include <string>
+
+namespace qd::bench {
+
+/** Integer knob from the environment, with default. */
+inline int
+env_int(const char* name, int fallback)
+{
+    const char* v = std::getenv(name);
+    if (v == nullptr || *v == '\0') {
+        return fallback;
+    }
+    return std::atoi(v);
+}
+
+/** Prints the standard bench banner: what paper artifact this regenerates. */
+inline void
+banner(const std::string& artifact, const std::string& note)
+{
+    std::string line(72, '=');
+    std::printf("%s\n%s\n%s\n%s\n\n", line.c_str(), artifact.c_str(),
+                note.c_str(), line.c_str());
+}
+
+}  // namespace qd::bench
+
+#endif  // BENCH_BENCH_UTIL_H

@@ -1,0 +1,53 @@
+/**
+ * Incrementer demo (paper Section 5.3, Figure 7): an 8-bit ancilla-free
+ * qutrit counter. Prints the Figure-7 gate list, then counts 0..20 by
+ * repeated classical application, then shows the log^2-depth scaling.
+ *
+ *   ./build/examples/incrementer_demo
+ */
+#include <cstdio>
+
+#include "constructions/incrementer.h"
+#include "qdsim/classical.h"
+
+using namespace qd;
+using namespace qd::ctor;
+
+int
+main()
+{
+    std::printf("-- Figure 7: the N=8 qutrit incrementer --\n");
+    const Circuit fig7 = build_qutrit_incrementer(
+        8, IncGranularity::kAtomic);
+    for (const Operation& op : fig7.ops()) {
+        std::printf("  %-22s wires", op.gate.name().c_str());
+        for (const int w : op.wires) {
+            std::printf(" a%d", w);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\n-- counting with the circuit (LSB = a0) --\n  ");
+    std::vector<int> state(8, 0);
+    for (int step = 0; step <= 20; ++step) {
+        int value = 0;
+        for (int b = 0; b < 8; ++b) {
+            value |= state[static_cast<std::size_t>(b)] << b;
+        }
+        std::printf("%d ", value);
+        state = classical_run(fig7, state);
+    }
+
+    std::printf("\n\n-- depth scaling (two-qutrit granularity) --\n");
+    std::printf("%-6s %-12s %-14s %-12s\n", "N", "depth",
+                "depth/log2(N)^2", "2q gates");
+    for (const int n : {4, 8, 16, 32, 64}) {
+        const Circuit c = build_qutrit_incrementer(n);
+        const double lg = std::log2(static_cast<double>(n));
+        std::printf("%-6d %-12d %-14.2f %-12zu\n", n, c.depth(),
+                    c.depth() / (lg * lg), c.two_qudit_count());
+    }
+    std::printf("\nDepth grows as log^2(N) with zero ancilla "
+                "(paper Section 5.3).\n");
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * Noise-model exploration (paper Sections 6.1/7): a miniature Figure 11.
+ * Runs the trajectory simulator on a small Generalized Toffoli under each
+ * named noise model and under a user-scaled custom model.
+ *
+ *   ./build/examples/noise_exploration [n_controls] [trials]
+ */
+#include <cstdio>
+#include <cstdlib>
+
+#include "constructions/gen_toffoli.h"
+#include "noise/models.h"
+#include "noise/trajectory.h"
+
+using namespace qd;
+
+int
+main(int argc, char** argv)
+{
+    const int n = argc > 1 ? std::atoi(argv[1]) : 7;
+    const int trials = argc > 2 ? std::atoi(argv[2]) : 30;
+
+    std::printf("Generalized Toffoli with %d controls, %d trajectories "
+                "per point.\n\n", n, trials);
+
+    const auto qutrit = ctor::build_gen_toffoli(ctor::Method::kQutrit, n);
+    const auto qubit =
+        ctor::build_gen_toffoli(ctor::Method::kQubitNoAncilla, n);
+
+    noise::TrajectoryOptions opts;
+    opts.trials = trials;
+
+    std::printf("%-16s %-22s %-22s\n", "noise model", "QUTRIT fidelity",
+                "QUBIT fidelity");
+    std::vector<noise::NoiseModel> models =
+        noise::superconducting_models();
+    models.push_back(noise::ti_qubit());
+    models.push_back(noise::dressed_qutrit());
+    for (const auto& model : models) {
+        const auto f3 =
+            noise::run_noisy_trials(qutrit.circuit, model, opts);
+        const auto f2 = noise::run_noisy_trials(qubit.circuit, model, opts);
+        std::printf("%-16s %6.2f%% +- %-10.2f %6.2f%% +- %-10.2f\n",
+                    model.name.c_str(), 100 * f3.mean_fidelity,
+                    100 * f3.two_sigma(), 100 * f2.mean_fidelity,
+                    100 * f2.two_sigma());
+    }
+
+    // A custom model: interpolate gate quality to find the crossover where
+    // the qubit construction becomes usable.
+    std::printf("\ncustom sweep: scaling SC gate errors by 1/k\n");
+    std::printf("%-8s %-16s %-16s\n", "k", "QUTRIT", "QUBIT");
+    for (const Real k : {1.0, 3.0, 10.0, 30.0}) {
+        auto model = noise::sc();
+        model.p1 /= k;
+        model.p2 /= k;
+        const auto f3 =
+            noise::run_noisy_trials(qutrit.circuit, model, opts);
+        const auto f2 = noise::run_noisy_trials(qubit.circuit, model, opts);
+        std::printf("%-8.0f %6.2f%%          %6.2f%%\n", k,
+                    100 * f3.mean_fidelity, 100 * f2.mean_fidelity);
+    }
+    return 0;
+}

@@ -1,0 +1,83 @@
+#include "analysis/fit.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qd::analysis {
+
+LinearFit
+fit_linear(const std::vector<Real>& x, const std::vector<Real>& y)
+{
+    if (x.size() != y.size() || x.size() < 2) {
+        throw std::invalid_argument("fit_linear: need >= 2 paired points");
+    }
+    const Real n = static_cast<Real>(x.size());
+    Real sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        sx += x[i];
+        sy += y[i];
+        sxx += x[i] * x[i];
+        sxy += x[i] * y[i];
+        syy += y[i] * y[i];
+    }
+    LinearFit fit;
+    const Real denom = n * sxx - sx * sx;
+    if (std::abs(denom) < 1e-30) {
+        throw std::invalid_argument("fit_linear: degenerate x values");
+    }
+    fit.slope = (n * sxy - sx * sy) / denom;
+    fit.intercept = (sy - fit.slope * sx) / n;
+    const Real ss_tot = syy - sy * sy / n;
+    Real ss_res = 0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const Real r = y[i] - (fit.intercept + fit.slope * x[i]);
+        ss_res += r * r;
+    }
+    fit.r_squared = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+    return fit;
+}
+
+Real
+fit_proportional(const std::vector<Real>& x, const std::vector<Real>& y)
+{
+    if (x.size() != y.size() || x.empty()) {
+        throw std::invalid_argument("fit_proportional: size mismatch");
+    }
+    Real sxy = 0, sxx = 0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        sxy += x[i] * y[i];
+        sxx += x[i] * x[i];
+    }
+    if (sxx <= 0) {
+        throw std::invalid_argument("fit_proportional: zero x");
+    }
+    return sxy / sxx;
+}
+
+Real
+fit_log2_coefficient(const std::vector<Real>& x, const std::vector<Real>& y)
+{
+    std::vector<Real> lx;
+    lx.reserve(x.size());
+    for (const Real v : x) {
+        lx.push_back(std::log2(v));
+    }
+    return fit_proportional(lx, y);
+}
+
+Real
+fit_power_law_exponent(const std::vector<Real>& x,
+                       const std::vector<Real>& y)
+{
+    std::vector<Real> lx, ly;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        if (x[i] <= 0 || y[i] <= 0) {
+            continue;
+        }
+        lx.push_back(std::log(x[i]));
+        ly.push_back(std::log(y[i]));
+    }
+    return fit_linear(lx, ly).slope;
+}
+
+}  // namespace qd::analysis

@@ -1,0 +1,43 @@
+/**
+ * @file fit.h
+ * Least-squares fits used to extract the constants the paper reports
+ * (e.g. depth ~ 633 N for QUBIT vs ~ 38 log2 N for QUTRIT, Figure 9).
+ */
+#ifndef ANALYSIS_FIT_H
+#define ANALYSIS_FIT_H
+
+#include <vector>
+
+#include "qdsim/types.h"
+
+namespace qd::analysis {
+
+/** Result of a linear least-squares fit y = intercept + slope * x. */
+struct LinearFit {
+    Real slope = 0;
+    Real intercept = 0;
+    Real r_squared = 0;
+};
+
+/** Ordinary least squares of y against x. */
+LinearFit fit_linear(const std::vector<Real>& x, const std::vector<Real>& y);
+
+/** Proportional fit y = c * x (zero intercept); returns c. */
+Real fit_proportional(const std::vector<Real>& x,
+                      const std::vector<Real>& y);
+
+/** Fits y = c * log2(x); returns c. */
+Real fit_log2_coefficient(const std::vector<Real>& x,
+                          const std::vector<Real>& y);
+
+/**
+ * Power-law exponent from a log-log fit y = a * x^b; returns b.
+ * Used to reproduce Table 1's asymptotic classes: b ~ 0 for logarithmic,
+ * ~ 1 for linear, ~ 2 for quadratic scaling.
+ */
+Real fit_power_law_exponent(const std::vector<Real>& x,
+                            const std::vector<Real>& y);
+
+}  // namespace qd::analysis
+
+#endif  // ANALYSIS_FIT_H

@@ -1,0 +1,32 @@
+#include "analysis/resources.h"
+
+namespace qd::analysis {
+
+std::vector<ResourcePoint>
+sweep_resources(ctor::Method method, const std::vector<int>& ns)
+{
+    std::vector<ResourcePoint> out;
+    out.reserve(ns.size());
+    for (const int n : ns) {
+        const ctor::GenToffoli built = ctor::build_gen_toffoli(method, n);
+        const Circuit::Stats stats = built.circuit.stats();
+        ResourcePoint p;
+        p.n_controls = n;
+        p.width = built.circuit.num_wires();
+        p.depth = stats.depth;
+        p.two_qudit = stats.two_qudit;
+        p.one_qudit = stats.one_qudit;
+        p.total_gates = stats.total_gates;
+        p.ancilla = built.ancilla.size();
+        out.push_back(p);
+    }
+    return out;
+}
+
+std::vector<int>
+figure_sweep_ns()
+{
+    return {2, 3, 5, 7, 10, 13, 25, 50, 75, 100, 125, 150, 175, 200};
+}
+
+}  // namespace qd::analysis

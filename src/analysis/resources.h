@@ -1,0 +1,36 @@
+/**
+ * @file resources.h
+ * Resource sweeps over the Generalized Toffoli constructions (the data
+ * behind paper Figures 9/10 and Table 1).
+ */
+#ifndef ANALYSIS_RESOURCES_H
+#define ANALYSIS_RESOURCES_H
+
+#include <vector>
+
+#include "constructions/gen_toffoli.h"
+
+namespace qd::analysis {
+
+/** Resources of one construction at one width. */
+struct ResourcePoint {
+    int n_controls = 0;
+    int width = 0;          ///< total wires including ancilla
+    int depth = 0;          ///< moments (Figure 9)
+    std::size_t two_qudit = 0;   ///< two-qudit gates (Figure 10)
+    std::size_t one_qudit = 0;
+    std::size_t total_gates = 0;
+    std::size_t ancilla = 0;
+};
+
+/** Builds the construction at each N and records its resources. */
+std::vector<ResourcePoint> sweep_resources(ctor::Method method,
+                                           const std::vector<int>& ns);
+
+/** The default N values used by the Figure 9/10 sweeps (25..200 plus small
+ *  anchors, matching the paper's plotted range). */
+std::vector<int> figure_sweep_ns();
+
+}  // namespace qd::analysis
+
+#endif  // ANALYSIS_RESOURCES_H

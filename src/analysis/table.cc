@@ -1,0 +1,76 @@
+#include "analysis/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace qd::analysis {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void
+Table::add_row(std::vector<std::string> cells)
+{
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::render(const std::string& title) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        widths[c] = headers_[c].size();
+        for (const auto& row : rows_) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+    std::string out;
+    if (!title.empty()) {
+        out += "== " + title + " ==\n";
+    }
+    auto emit_row = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            out += "| ";
+            const std::size_t pad = widths[c] - cells[c].size();
+            out += std::string(pad, ' ') + cells[c] + " ";
+        }
+        out += "|\n";
+    };
+    emit_row(headers_);
+    std::size_t total = 1;
+    for (const std::size_t w : widths) {
+        total += w + 3;
+    }
+    out += std::string(total, '-') + "\n";
+    for (const auto& row : rows_) {
+        emit_row(row);
+    }
+    return out;
+}
+
+std::string
+fmt(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+fmt_sci(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*e", precision, value);
+    return buf;
+}
+
+std::string
+fmt_pct(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, value * 100.0);
+    return buf;
+}
+
+}  // namespace qd::analysis

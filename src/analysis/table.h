@@ -1,0 +1,40 @@
+/**
+ * @file table.h
+ * ASCII table rendering for benchmark output (every bench binary prints
+ * the rows/series of the corresponding paper table or figure).
+ */
+#ifndef ANALYSIS_TABLE_H
+#define ANALYSIS_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace qd::analysis {
+
+/** Simple column-aligned ASCII table with an optional title. */
+class Table {
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    void add_row(std::vector<std::string> cells);
+
+    /** Renders with a header rule and right-aligned numeric-looking cells. */
+    std::string render(const std::string& title = "") const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** printf-style float formatting helper for table cells. */
+std::string fmt(double value, int precision = 2);
+
+/** Scientific-notation cell. */
+std::string fmt_sci(double value, int precision = 1);
+
+/** Percentage cell, e.g. 0.948 -> "94.8%". */
+std::string fmt_pct(double value, int precision = 1);
+
+}  // namespace qd::analysis
+
+#endif  // ANALYSIS_TABLE_H

@@ -1,0 +1,45 @@
+#include "apps/arithmetic.h"
+
+#include <stdexcept>
+
+namespace qd::apps {
+
+void
+append_add_constant(Circuit& circuit, const std::vector<int>& wires,
+                    std::uint64_t constant, ctor::IncGranularity granularity)
+{
+    const std::size_t n = wires.size();
+    constant &= (n >= 64) ? ~std::uint64_t{0}
+                          : ((std::uint64_t{1} << n) - 1);
+    // +c = sum over set bits j of (+1 on the sub-register [j..n)).
+    // Additions commute, so bit order is free; LSB-first keeps the deepest
+    // (widest) incrementer first for better scheduling overlap.
+    for (std::size_t j = 0; j < n; ++j) {
+        if ((constant >> j) & 1) {
+            const std::vector<int> sub(wires.begin() + static_cast<long>(j),
+                                       wires.end());
+            ctor::append_qutrit_incrementer(circuit, sub, granularity);
+        }
+    }
+}
+
+Circuit
+build_add_constant(int n_bits, std::uint64_t constant,
+                   ctor::IncGranularity granularity)
+{
+    Circuit c(WireDims::uniform(n_bits, 3));
+    std::vector<int> wires;
+    for (int i = 0; i < n_bits; ++i) {
+        wires.push_back(i);
+    }
+    append_add_constant(c, wires, constant, granularity);
+    return c;
+}
+
+Circuit
+build_decrementer(int n_bits, ctor::IncGranularity granularity)
+{
+    return ctor::build_qutrit_incrementer(n_bits, granularity).inverse();
+}
+
+}  // namespace qd::apps

@@ -1,0 +1,41 @@
+/**
+ * @file arithmetic.h
+ * Arithmetic circuits built from the incrementer (paper Section 5.4).
+ *
+ * The incrementer is the key subcircuit of constant addition; adding a
+ * constant c = sum 2^j over its set bits applies the incrementer to the
+ * sub-register starting at bit j for each set bit. With the paper's
+ * log^2-depth ancilla-free incrementer, constant addition is ancilla-free
+ * and polylog-depth per set bit, reducing the constants of the modular
+ * arithmetic that bottlenecks Shor's algorithm.
+ */
+#ifndef APPS_ARITHMETIC_H
+#define APPS_ARITHMETIC_H
+
+#include "constructions/incrementer.h"
+#include "qdsim/circuit.h"
+
+namespace qd::apps {
+
+/**
+ * Appends |x> -> |x + constant mod 2^wires.size()> over qutrit wires
+ * (wires[0] = LSB).
+ */
+void append_add_constant(Circuit& circuit, const std::vector<int>& wires,
+                         std::uint64_t constant,
+                         ctor::IncGranularity granularity =
+                             ctor::IncGranularity::kTwoQutrit);
+
+/** Builds a self-contained n-bit +constant circuit on qutrit wires. */
+Circuit build_add_constant(int n_bits, std::uint64_t constant,
+                           ctor::IncGranularity granularity =
+                               ctor::IncGranularity::kTwoQutrit);
+
+/** Builds an n-bit decrementer (inverse of the incrementer). */
+Circuit build_decrementer(int n_bits,
+                          ctor::IncGranularity granularity =
+                              ctor::IncGranularity::kTwoQutrit);
+
+}  // namespace qd::apps
+
+#endif  // APPS_ARITHMETIC_H

@@ -1,0 +1,139 @@
+#include "apps/grover.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "constructions/qubit_toffoli.h"
+#include "constructions/qutrit_toffoli.h"
+#include "qdsim/gate_library.h"
+#include "qdsim/simulator.h"
+
+namespace qd::apps {
+
+namespace {
+
+/** Appends the n-controlled Z over all wires (controls = all but last). */
+void
+append_mcz(Circuit& c, int n, MczMethod method)
+{
+    std::vector<int> controls;
+    for (int i = 0; i < n - 1; ++i) {
+        controls.push_back(i);
+    }
+    switch (method) {
+      case MczMethod::kQutrit: {
+        std::vector<ctor::ControlSpec> specs;
+        for (const int w : controls) {
+            specs.push_back(ctor::on1(w));
+        }
+        ctor::append_qutrit_tree_toffoli(c, specs, n - 1,
+                                         gates::embed(gates::Z(), 3),
+                                         ctor::QutritTreeOptions{true});
+        break;
+      }
+      case MczMethod::kQubitNoAncilla:
+        ctor::append_mcu_no_ancilla(c, controls, n - 1, gates::Z(),
+                                    ctor::QubitDecompOptions{true});
+        break;
+      case MczMethod::kAtomic: {
+        const int d = c.dims().dim(0);
+        const Gate z = d == 2 ? gates::Z() : gates::embed(gates::Z(), d);
+        if (n == 1) {
+            c.append(z, {0});
+            break;
+        }
+        std::vector<int> dims(static_cast<std::size_t>(n) - 1, d);
+        std::vector<int> values(static_cast<std::size_t>(n) - 1, 1);
+        std::vector<int> wires = controls;
+        wires.push_back(n - 1);
+        c.append(z.controlled(dims, values), wires);
+        break;
+      }
+    }
+}
+
+}  // namespace
+
+Circuit
+build_grover_circuit(int n_qubits, Index marked, int iterations,
+                     MczMethod method)
+{
+    if (n_qubits < 1) {
+        throw std::invalid_argument("grover: need at least 1 qubit");
+    }
+    if (marked >= (Index{1} << n_qubits)) {
+        throw std::invalid_argument("grover: marked item out of range");
+    }
+    const int d = method == MczMethod::kQutrit ? 3 : 2;
+    Circuit c(WireDims::uniform(n_qubits, d));
+    const Gate h = d == 2 ? gates::H() : gates::embed(gates::H(), d);
+    const Gate x = d == 2 ? gates::X() : gates::embed(gates::X(), d);
+
+    for (int w = 0; w < n_qubits; ++w) {
+        c.append(h, {w});
+    }
+    for (int it = 0; it < iterations; ++it) {
+        // Oracle: phase-flip |marked>. X-sandwich the zero bits, then MCZ.
+        for (int w = 0; w < n_qubits; ++w) {
+            if (((marked >> (n_qubits - 1 - w)) & 1) == 0) {
+                c.append(x, {w});
+            }
+        }
+        append_mcz(c, n_qubits, method);
+        for (int w = 0; w < n_qubits; ++w) {
+            if (((marked >> (n_qubits - 1 - w)) & 1) == 0) {
+                c.append(x, {w});
+            }
+        }
+        // Diffusion: reflect about the mean = H X (MCZ) X H.
+        for (int w = 0; w < n_qubits; ++w) {
+            c.append(h, {w});
+        }
+        for (int w = 0; w < n_qubits; ++w) {
+            c.append(x, {w});
+        }
+        append_mcz(c, n_qubits, method);
+        for (int w = 0; w < n_qubits; ++w) {
+            c.append(x, {w});
+        }
+        for (int w = 0; w < n_qubits; ++w) {
+            c.append(h, {w});
+        }
+    }
+    return c;
+}
+
+int
+grover_optimal_iterations(int n_qubits)
+{
+    const Real m = std::pow(2.0, n_qubits);
+    return static_cast<int>(std::floor(kPi / 4 * std::sqrt(m)));
+}
+
+Real
+grover_success_probability(int n_qubits, Index marked, int iterations,
+                           MczMethod method)
+{
+    const Circuit c =
+        build_grover_circuit(n_qubits, marked, iterations, method);
+    const StateVector out = simulate(c);
+    // Probability of the marked bitstring on the data digits (wires are
+    // qubit-valued even on qutrit hardware).
+    std::vector<int> digits(static_cast<std::size_t>(n_qubits));
+    for (int w = 0; w < n_qubits; ++w) {
+        digits[static_cast<std::size_t>(w)] =
+            static_cast<int>((marked >> (n_qubits - 1 - w)) & 1);
+    }
+    return std::norm(out[out.dims().pack(digits)]);
+}
+
+Real
+grover_success_analytic(int n_qubits, int iterations)
+{
+    const Real m = std::pow(2.0, n_qubits);
+    const Real theta = std::asin(1.0 / std::sqrt(m));
+    const Real s = std::sin((2.0 * iterations + 1.0) * theta);
+    return s * s;
+}
+
+}  // namespace qd::apps

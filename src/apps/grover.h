@@ -1,0 +1,52 @@
+/**
+ * @file grover.h
+ * Grover search built on the multiply-controlled Z gate (paper Section 5.2,
+ * Figure 6).
+ *
+ * Each Grover iteration needs an (N = ceil(log2 M))-controlled gate for the
+ * oracle and the diffusion operator. With the paper's qutrit tree that gate
+ * has O(log N) = O(log log M) depth instead of O(N) = O(log M), improving
+ * the per-iteration critical path asymptotically.
+ */
+#ifndef APPS_GROVER_H
+#define APPS_GROVER_H
+
+#include "qdsim/circuit.h"
+
+namespace qd::apps {
+
+/** Which multiply-controlled-gate decomposition Grover uses. */
+enum class MczMethod {
+    kQutrit,         ///< paper's log-depth qutrit tree (wires are qutrits)
+    kQubitNoAncilla, ///< ancilla-free qubit baseline
+    kAtomic,         ///< single big controlled gate (reference/simulation)
+};
+
+/**
+ * Builds a Grover search circuit over M = 2^n_qubits items:
+ * initial Hadamards plus `iterations` (oracle + diffusion) rounds.
+ *
+ * @param n_qubits   Search register width (M = 2^n).
+ * @param marked     Index of the marked item (0 <= marked < 2^n).
+ * @param iterations Number of Grover iterations.
+ * @param method     Decomposition used for the multiply-controlled Z.
+ */
+Circuit build_grover_circuit(int n_qubits, Index marked, int iterations,
+                             MczMethod method);
+
+/** floor(pi/4 sqrt(M)): the optimal iteration count. */
+int grover_optimal_iterations(int n_qubits);
+
+/**
+ * Simulates the circuit and returns the probability of measuring the
+ * marked item.
+ */
+Real grover_success_probability(int n_qubits, Index marked, int iterations,
+                                MczMethod method);
+
+/** Analytic success probability sin^2((2k+1) theta), theta=asin(1/sqrt M). */
+Real grover_success_analytic(int n_qubits, int iterations);
+
+}  // namespace qd::apps
+
+#endif  // APPS_GROVER_H

@@ -1,0 +1,189 @@
+#include "apps/neuron.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "constructions/qubit_toffoli.h"
+#include "constructions/qutrit_toffoli.h"
+#include "qdsim/gate_library.h"
+#include "qdsim/simulator.h"
+
+namespace qd::apps {
+
+namespace {
+
+int
+log2_exact(std::size_t m)
+{
+    int n = 0;
+    while ((std::size_t{1} << n) < m) {
+        ++n;
+    }
+    if ((std::size_t{1} << n) != m) {
+        throw std::invalid_argument("neuron: vector length must be 2^N");
+    }
+    return n;
+}
+
+/** Appends a multiply-controlled Z over the support bits of `mask`. */
+void
+append_mcz_on_mask(Circuit& c, int n, unsigned mask, NeuronMethod method)
+{
+    std::vector<int> support;
+    for (int b = 0; b < n; ++b) {
+        if ((mask >> (n - 1 - b)) & 1) {
+            support.push_back(b);
+        }
+    }
+    if (support.empty()) {
+        return;  // global phase
+    }
+    const int d = c.dims().dim(0);
+    const Gate z = d == 2 ? gates::Z() : gates::embed(gates::Z(), d);
+    if (support.size() == 1) {
+        c.append(z, {support[0]});
+        return;
+    }
+    const int target = support.back();
+    support.pop_back();
+    if (method == NeuronMethod::kQutrit) {
+        std::vector<ctor::ControlSpec> specs;
+        for (const int w : support) {
+            specs.push_back(ctor::on1(w));
+        }
+        ctor::append_qutrit_tree_toffoli(c, specs, target, z,
+                                         ctor::QutritTreeOptions{true});
+    } else {
+        ctor::append_mcu_no_ancilla(c, support, target, z,
+                                    ctor::QubitDecompOptions{true});
+    }
+}
+
+/**
+ * Hypergraph-state sign synthesis: emits multiply-controlled Z gates so
+ * that H^N |0> acquires the sign pattern `signs` (normalised so
+ * signs[0] == +1 by factoring out a global sign).
+ */
+void
+append_sign_synthesis(Circuit& c, int n, std::vector<int> signs,
+                      NeuronMethod method)
+{
+    const std::size_t m = signs.size();
+    if (signs[0] == -1) {
+        for (auto& s : signs) {
+            s = -s;
+        }
+    }
+    std::vector<int> current(m, 1);
+    // Visit masks in increasing popcount so earlier fixes are not undone.
+    std::vector<unsigned> order;
+    for (unsigned mask = 0; mask < m; ++mask) {
+        order.push_back(mask);
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [](unsigned a, unsigned b) {
+                         return __builtin_popcount(a) <
+                                __builtin_popcount(b);
+                     });
+    for (const unsigned mask : order) {
+        if (current[mask] == signs[mask]) {
+            continue;
+        }
+        append_mcz_on_mask(c, n, mask, method);
+        for (unsigned j = 0; j < m; ++j) {
+            if ((j & mask) == mask) {
+                current[j] = -current[j];
+            }
+        }
+    }
+}
+
+}  // namespace
+
+Circuit
+build_neuron_circuit(const std::vector<int>& input_signs,
+                     const std::vector<int>& weight_signs,
+                     NeuronMethod method)
+{
+    if (input_signs.size() != weight_signs.size()) {
+        throw std::invalid_argument("neuron: length mismatch");
+    }
+    for (const auto* v : {&input_signs, &weight_signs}) {
+        for (const int s : *v) {
+            if (s != 1 && s != -1) {
+                throw std::invalid_argument("neuron: signs must be +-1");
+            }
+        }
+    }
+    const int n = log2_exact(input_signs.size());
+    const int d = method == NeuronMethod::kQutrit ? 3 : 2;
+    Circuit c(WireDims::uniform(n + 1, d));
+    const Gate h = d == 2 ? gates::H() : gates::embed(gates::H(), d);
+    const Gate x = d == 2 ? gates::X() : gates::embed(gates::X(), d);
+
+    // U_i: |0..0> -> (1/sqrt(2^N)) sum_j i_j |j>.
+    for (int w = 0; w < n; ++w) {
+        c.append(h, {w});
+    }
+    append_sign_synthesis(c, n, input_signs, method);
+
+    // U_w: |psi_w> -> |1..1>, as the inverse of the w-encoding followed by
+    // H^N and X^N.
+    {
+        Circuit enc(c.dims());
+        append_sign_synthesis(enc, n, weight_signs, method);
+        c.extend(enc.inverse());
+    }
+    for (int w = 0; w < n; ++w) {
+        c.append(h, {w});
+    }
+    for (int w = 0; w < n; ++w) {
+        c.append(x, {w});
+    }
+
+    // Activation: C^N X onto the output wire.
+    if (method == NeuronMethod::kQutrit) {
+        std::vector<ctor::ControlSpec> specs;
+        for (int w = 0; w < n; ++w) {
+            specs.push_back(ctor::on1(w));
+        }
+        ctor::append_qutrit_tree_toffoli(c, specs, n,
+                                         gates::embed(gates::X(), 3),
+                                         ctor::QutritTreeOptions{true});
+    } else {
+        std::vector<int> controls;
+        for (int w = 0; w < n; ++w) {
+            controls.push_back(w);
+        }
+        ctor::append_mcu_no_ancilla(c, controls, n, gates::X(),
+                                    ctor::QubitDecompOptions{true});
+    }
+    return c;
+}
+
+Real
+neuron_activation_probability(const std::vector<int>& input_signs,
+                              const std::vector<int>& weight_signs,
+                              NeuronMethod method)
+{
+    const Circuit c =
+        build_neuron_circuit(input_signs, weight_signs, method);
+    const StateVector out = simulate(c);
+    const int output_wire = c.num_wires() - 1;
+    return out.population(output_wire, 1);
+}
+
+Real
+neuron_activation_analytic(const std::vector<int>& input_signs,
+                           const std::vector<int>& weight_signs)
+{
+    Real dot = 0;
+    for (std::size_t j = 0; j < input_signs.size(); ++j) {
+        dot += static_cast<Real>(input_signs[j] * weight_signs[j]);
+    }
+    const Real m = static_cast<Real>(input_signs.size());
+    return (dot / m) * (dot / m);
+}
+
+}  // namespace qd::apps

@@ -1,0 +1,49 @@
+/**
+ * @file neuron.h
+ * Artificial quantum neuron (paper Section 5.1, after Tacchino et al.).
+ *
+ * The neuron encodes a binary input vector i in {-1,+1}^{2^N} and weight
+ * vector w as hypergraph states over N data qubits. The activation is the
+ * squared overlap (i . w / 2^N)^2, extracted by a Generalized Toffoli over
+ * all N data qubits onto an output qubit — exactly the gate this paper
+ * optimises. Sign patterns are synthesised with multiply-controlled Z
+ * gates (hypergraph-state synthesis).
+ */
+#ifndef APPS_NEURON_H
+#define APPS_NEURON_H
+
+#include <vector>
+
+#include "qdsim/circuit.h"
+
+namespace qd::apps {
+
+/** Decomposition used for the multi-controlled gates inside the neuron. */
+enum class NeuronMethod {
+    kQutrit,          ///< qutrit tree activation (this paper)
+    kQubitNoAncilla,  ///< ancilla-free qubit baseline
+};
+
+/**
+ * Builds the neuron circuit: U_i (input encoding), U_w (weight rotation),
+ * and the C^N X activation onto the output wire (the last wire).
+ *
+ * @param input_signs  2^N entries, each +1 or -1.
+ * @param weight_signs 2^N entries, each +1 or -1.
+ */
+Circuit build_neuron_circuit(const std::vector<int>& input_signs,
+                             const std::vector<int>& weight_signs,
+                             NeuronMethod method);
+
+/** Simulated probability that the output (activation) qubit reads 1. */
+Real neuron_activation_probability(const std::vector<int>& input_signs,
+                                   const std::vector<int>& weight_signs,
+                                   NeuronMethod method);
+
+/** Analytic activation: (i . w / 2^N)^2. */
+Real neuron_activation_analytic(const std::vector<int>& input_signs,
+                                const std::vector<int>& weight_signs);
+
+}  // namespace qd::apps
+
+#endif  // APPS_NEURON_H

@@ -1,0 +1,52 @@
+#include "constructions/control_spec.h"
+
+#include <stdexcept>
+
+namespace qd::ctor {
+
+void
+validate_controls(const Circuit& circuit,
+                  const std::vector<ControlSpec>& controls, int target)
+{
+    if (target < 0 || target >= circuit.num_wires()) {
+        throw std::out_of_range("validate_controls: target out of range");
+    }
+    for (std::size_t i = 0; i < controls.size(); ++i) {
+        const ControlSpec& c = controls[i];
+        if (c.wire < 0 || c.wire >= circuit.num_wires()) {
+            throw std::out_of_range("validate_controls: wire out of range");
+        }
+        if (c.wire == target) {
+            throw std::invalid_argument(
+                "validate_controls: control equals target");
+        }
+        if (c.value < 0 || c.value >= circuit.dims().dim(c.wire)) {
+            throw std::invalid_argument(
+                "validate_controls: activation level out of range for wire " +
+                std::to_string(c.wire));
+        }
+        for (std::size_t j = i + 1; j < controls.size(); ++j) {
+            if (controls[j].wire == c.wire) {
+                throw std::invalid_argument(
+                    "validate_controls: duplicate control wire");
+            }
+        }
+    }
+}
+
+std::string
+controls_to_string(const std::vector<ControlSpec>& controls, int target)
+{
+    std::string out = "{";
+    for (std::size_t i = 0; i < controls.size(); ++i) {
+        if (i) {
+            out += ", ";
+        }
+        out += "q" + std::to_string(controls[i].wire) + "@" +
+               std::to_string(controls[i].value);
+    }
+    out += "} -> q" + std::to_string(target);
+    return out;
+}
+
+}  // namespace qd::ctor

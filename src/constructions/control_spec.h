@@ -1,0 +1,44 @@
+/**
+ * @file control_spec.h
+ * Control specifications for multiply-controlled gates.
+ *
+ * The paper's circuits condition on arbitrary basis levels (red |1>-controls
+ * and blue |2>-controls in Figures 4/5/7, and |0>-controls for the
+ * incrementer's restore gates). A ControlSpec names the wire and the level
+ * on which it activates.
+ */
+#ifndef CONSTRUCTIONS_CONTROL_SPEC_H
+#define CONSTRUCTIONS_CONTROL_SPEC_H
+
+#include <string>
+#include <vector>
+
+#include "qdsim/circuit.h"
+
+namespace qd::ctor {
+
+/** A control wire and the basis level that activates it. */
+struct ControlSpec {
+    int wire = 0;
+    int value = 1;
+
+    friend bool operator==(const ControlSpec&, const ControlSpec&) = default;
+};
+
+/** Convenience constructors matching the paper's colour conventions. */
+inline ControlSpec on1(int wire) { return {wire, 1}; }
+inline ControlSpec on2(int wire) { return {wire, 2}; }
+inline ControlSpec on0(int wire) { return {wire, 0}; }
+
+/** Validates that every control is distinct, distinct from the target, and
+ *  activates on a level below its wire's dimension. Throws on violation. */
+void validate_controls(const Circuit& circuit,
+                       const std::vector<ControlSpec>& controls, int target);
+
+/** Renders e.g. "{q3@2, q5@1} -> q7" for diagnostics. */
+std::string controls_to_string(const std::vector<ControlSpec>& controls,
+                               int target);
+
+}  // namespace qd::ctor
+
+#endif  // CONSTRUCTIONS_CONTROL_SPEC_H

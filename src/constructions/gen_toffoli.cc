@@ -1,0 +1,121 @@
+#include "constructions/gen_toffoli.h"
+
+#include <stdexcept>
+
+#include "constructions/he_tree.h"
+#include "constructions/lanyon_ralph.h"
+#include "constructions/qubit_toffoli.h"
+#include "constructions/qutrit_toffoli.h"
+#include "constructions/wang.h"
+#include "qdsim/gate_library.h"
+
+namespace qd::ctor {
+
+std::string
+method_label(Method m)
+{
+    switch (m) {
+      case Method::kQutrit:
+        return "QUTRIT";
+      case Method::kQubitNoAncilla:
+        return "QUBIT";
+      case Method::kQubitDirtyAncilla:
+        return "QUBIT+ANCILLA";
+      case Method::kHe:
+        return "HE";
+      case Method::kWang:
+        return "WANG";
+      case Method::kLanyonRalph:
+        return "LANYON-RALPH";
+    }
+    return "?";
+}
+
+const std::vector<Method>&
+all_methods()
+{
+    static const std::vector<Method> methods = {
+        Method::kQutrit,           Method::kQubitNoAncilla,
+        Method::kQubitDirtyAncilla, Method::kHe,
+        Method::kWang,             Method::kLanyonRalph,
+    };
+    return methods;
+}
+
+GenToffoli
+build_gen_toffoli(Method method, int n_controls,
+                  const GenToffoliOptions& options)
+{
+    if (n_controls < 0) {
+        throw std::invalid_argument("build_gen_toffoli: negative controls");
+    }
+    const std::size_t n = static_cast<std::size_t>(n_controls);
+    GenToffoli out;
+    out.label = method_label(method);
+    for (int i = 0; i < n_controls; ++i) {
+        out.controls.push_back(i);
+    }
+    out.target = n_controls;
+
+    switch (method) {
+      case Method::kQutrit: {
+        out.circuit = Circuit(WireDims::uniform(n_controls + 1, 3));
+        std::vector<ControlSpec> specs;
+        for (const int c : out.controls) {
+            specs.push_back(on1(c));
+        }
+        append_qutrit_tree_toffoli(out.circuit, specs, out.target,
+                                   gates::embed(gates::X(), 3),
+                                   QutritTreeOptions{options.decompose});
+        break;
+      }
+      case Method::kQubitNoAncilla: {
+        out.circuit = Circuit(WireDims::uniform(n_controls + 1, 2));
+        append_mcu_no_ancilla(out.circuit, out.controls, out.target,
+                              gates::X(),
+                              QubitDecompOptions{options.decompose});
+        break;
+      }
+      case Method::kQubitDirtyAncilla: {
+        out.circuit = Circuit(WireDims::uniform(n_controls + 2, 2));
+        const int borrow = n_controls + 1;
+        out.ancilla = {borrow};
+        if (n <= 2) {
+            append_mcx_vchain(out.circuit, out.controls, out.target, {},
+                              QubitDecompOptions{options.decompose});
+        } else {
+            append_mcx_single_borrow(out.circuit, out.controls, out.target,
+                                     borrow,
+                                     QubitDecompOptions{options.decompose});
+        }
+        break;
+      }
+      case Method::kHe: {
+        const std::size_t anc = he_tree_ancilla_count(n);
+        out.circuit = Circuit(WireDims::uniform(
+            n_controls + 1 + static_cast<int>(anc), 2));
+        for (std::size_t i = 0; i < anc; ++i) {
+            out.ancilla.push_back(n_controls + 1 + static_cast<int>(i));
+        }
+        append_he_tree(out.circuit, out.controls, out.target, gates::X(),
+                       out.ancilla, QubitDecompOptions{options.decompose});
+        break;
+      }
+      case Method::kWang: {
+        out.circuit = Circuit(WireDims::uniform(n_controls + 1, 3));
+        append_wang_ladder(out.circuit, out.controls, out.target,
+                           gates::embed(gates::X(), 3));
+        break;
+      }
+      case Method::kLanyonRalph: {
+        std::vector<int> dims(n + 1, 2);
+        dims[n] = lanyon_ralph_target_dim(n);
+        out.circuit = Circuit(WireDims(dims));
+        append_lanyon_ralph(out.circuit, out.controls, out.target);
+        break;
+      }
+    }
+    return out;
+}
+
+}  // namespace qd::ctor

@@ -1,0 +1,65 @@
+/**
+ * @file gen_toffoli.h
+ * Unified factory for the paper's benchmarked Generalized Toffoli circuits.
+ *
+ * Builds self-contained circuits (register + gates) for each construction in
+ * Table 1, with qubit inputs/outputs. The three simulation benchmarks of
+ * Figure 11 are:
+ *   - Method::kQutrit           "QUTRIT"         (this paper; log depth, 0 ancilla)
+ *   - Method::kQubitNoAncilla   "QUBIT"          (ancilla-free qubit baseline)
+ *   - Method::kQubitDirtyAncilla"QUBIT+ANCILLA"  (one dirty borrowed qubit)
+ * plus the comparison-only constructions kHe, kWang, kLanyonRalph.
+ */
+#ifndef CONSTRUCTIONS_GEN_TOFFOLI_H
+#define CONSTRUCTIONS_GEN_TOFFOLI_H
+
+#include <string>
+#include <vector>
+
+#include "qdsim/circuit.h"
+
+namespace qd::ctor {
+
+/** The Generalized Toffoli constructions of paper Table 1. */
+enum class Method {
+    kQutrit,            ///< this paper's qutrit tree
+    kQubitNoAncilla,    ///< QUBIT: ancilla-free sqrt-recursion baseline
+    kQubitDirtyAncilla, ///< QUBIT+ANCILLA: Lemma 7.3 with 1 dirty borrow
+    kHe,                ///< He et al.: log depth, N-1 clean ancilla
+    kWang,              ///< Wang: linear qutrit ladder
+    kLanyonRalph,       ///< Lanyon/Ralph: d = N+2 target qudit
+};
+
+/** Display label matching the paper's benchmark names. */
+std::string method_label(Method m);
+
+/** Build options. */
+struct GenToffoliOptions {
+    /** Decompose to one-/two-qudit gates (true) or keep the construction's
+     *  natural granularity (false: three-qutrit tree gates / Toffolis). */
+    bool decompose = true;
+};
+
+/** A built Generalized Toffoli instance. */
+struct GenToffoli {
+    Circuit circuit;
+    std::vector<int> controls;   ///< control wire indices (activate on |1>)
+    int target = 0;              ///< target wire index
+    std::vector<int> ancilla;    ///< extra wires (clean for He, dirty else)
+    std::string label;           ///< e.g. "QUTRIT"
+};
+
+/**
+ * Builds the N-controlled NOT (logical X on the target iff all controls
+ * |1>) for the given method. The register layout is: controls first, then
+ * the target, then any ancilla.
+ */
+GenToffoli build_gen_toffoli(Method method, int n_controls,
+                             const GenToffoliOptions& options = {});
+
+/** All methods, in the paper's Table 1 order. */
+const std::vector<Method>& all_methods();
+
+}  // namespace qd::ctor
+
+#endif  // CONSTRUCTIONS_GEN_TOFFOLI_H

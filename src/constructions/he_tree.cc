@@ -1,0 +1,58 @@
+#include "constructions/he_tree.h"
+
+#include <stdexcept>
+
+#include "qdsim/gate_library.h"
+
+namespace qd::ctor {
+
+std::size_t
+he_tree_ancilla_count(std::size_t n_controls)
+{
+    return n_controls <= 1 ? 0 : n_controls - 1;
+}
+
+void
+append_he_tree(Circuit& circuit, const std::vector<int>& controls,
+               int target, const Gate& target_gate,
+               const std::vector<int>& ancilla,
+               const QubitDecompOptions& options)
+{
+    const std::size_t n = controls.size();
+    if (n == 0) {
+        circuit.append(target_gate, {target});
+        return;
+    }
+    if (n == 1) {
+        circuit.append(target_gate.controlled(2, 1), {controls[0], target});
+        return;
+    }
+    if (ancilla.size() < he_tree_ancilla_count(n)) {
+        throw std::invalid_argument("append_he_tree: need n-1 clean ancilla");
+    }
+
+    // Compute phase: repeatedly AND pairs into fresh ancilla.
+    std::vector<Operation> compute;  // recorded for uncomputation
+    Circuit scratch(circuit.dims());
+    std::vector<int> level = controls;
+    std::size_t next_anc = 0;
+    while (level.size() > 1) {
+        std::vector<int> up;
+        for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+            const int anc = ancilla[next_anc++];
+            append_toffoli(scratch, level[i], level[i + 1], anc, options);
+            up.push_back(anc);
+        }
+        if (level.size() % 2 == 1) {
+            up.push_back(level.back());
+        }
+        level = up;
+    }
+
+    circuit.extend(scratch);
+    circuit.append(target_gate.controlled(2, 1), {level[0], target});
+    circuit.extend(scratch.inverse());
+    (void)compute;
+}
+
+}  // namespace qd::ctor

@@ -1,0 +1,35 @@
+/**
+ * @file he_tree.h
+ * He et al. logarithmic-depth Generalized Toffoli using a linear number of
+ * clean ancilla qubits (paper Table 1, column "He [29]").
+ *
+ * A binary tree of Toffolis ANDs the controls pairwise into clean ancilla;
+ * the root ancilla controls the target gate; the mirrored tree uncomputes.
+ * Depth Theta(log N), gates Theta(N), ancilla N-1 (the paper rounds to N).
+ */
+#ifndef CONSTRUCTIONS_HE_TREE_H
+#define CONSTRUCTIONS_HE_TREE_H
+
+#include <vector>
+
+#include "constructions/qubit_toffoli.h"
+#include "qdsim/circuit.h"
+
+namespace qd::ctor {
+
+/** Number of clean ancilla the He tree needs for n controls. */
+std::size_t he_tree_ancilla_count(std::size_t n_controls);
+
+/**
+ * Appends the He et al. construction. `ancilla` must hold
+ * he_tree_ancilla_count(controls.size()) clean (|0>) wires; they are
+ * returned to |0>.
+ */
+void append_he_tree(Circuit& circuit, const std::vector<int>& controls,
+                    int target, const Gate& target_gate,
+                    const std::vector<int>& ancilla,
+                    const QubitDecompOptions& options);
+
+}  // namespace qd::ctor
+
+#endif  // CONSTRUCTIONS_HE_TREE_H

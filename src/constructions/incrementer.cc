@@ -1,0 +1,163 @@
+#include "constructions/incrementer.h"
+
+#include <stdexcept>
+
+#include "constructions/qubit_toffoli.h"
+#include "constructions/qutrit_toffoli.h"
+#include "qdsim/gate_library.h"
+
+namespace qd::ctor {
+
+namespace {
+
+/** Emits one multiply-controlled gate at the requested granularity. */
+void
+emit_mc(Circuit& circuit, const std::vector<ControlSpec>& controls,
+        int target, const Gate& u, IncGranularity granularity)
+{
+    if (granularity == IncGranularity::kAtomic) {
+        std::vector<int> control_dims, control_values, wires;
+        for (const ControlSpec& c : controls) {
+            control_dims.push_back(circuit.dims().dim(c.wire));
+            control_values.push_back(c.value);
+            wires.push_back(c.wire);
+        }
+        wires.push_back(target);
+        circuit.append(u.controlled(control_dims, control_values), wires);
+        return;
+    }
+    const QutritTreeOptions opts{granularity == IncGranularity::kTwoQutrit};
+    append_qutrit_tree_toffoli(circuit, controls, target, u, opts);
+}
+
+/**
+ * Conditionally increments wires[lo..hi] by one, conditioned on the carry
+ * wire `c` being |2> (qutrit generate encoding). Wires lo..hi are binary
+ * valued on entry and exit; `c` is left untouched.
+ */
+void
+ripple(Circuit& circuit, const std::vector<int>& wires, int c, int lo,
+       int hi, IncGranularity granularity)
+{
+    if (lo > hi) {
+        return;
+    }
+    if (lo == hi) {
+        // Final bit of the block: plain controlled flip.
+        emit_mc(circuit, {on2(wires[c])}, wires[lo], gates::X01(),
+                granularity);
+        return;
+    }
+    const int mid = (lo + hi + 1) / 2;
+
+    // Carry into the upper half: generate (c == 2) and every lower bit
+    // propagates (== 1). X+1 leaves wires[mid] == 2 iff the carry continues
+    // through it.
+    std::vector<ControlSpec> carry_controls = {on2(wires[c])};
+    for (int i = lo; i < mid; ++i) {
+        carry_controls.push_back(on1(wires[i]));
+    }
+    emit_mc(circuit, carry_controls, wires[mid], gates::Xplus1(),
+            granularity);
+
+    // The two halves act on disjoint wires and schedule in parallel.
+    ripple(circuit, wires, mid, mid + 1, hi, granularity);
+    ripple(circuit, wires, c, lo, mid - 1, granularity);
+
+    // Restore wires[mid] to binary: the carry happened iff c == 2 and the
+    // (now incremented) lower bits all wrapped to 0. X02 maps the elevated
+    // 2 -> 0 and fixes nothing otherwise (wires[mid] is 1 in the other
+    // activating branch, and X02 leaves 1 alone).
+    std::vector<ControlSpec> restore_controls = {on2(wires[c])};
+    for (int i = lo; i < mid; ++i) {
+        restore_controls.push_back(on0(wires[i]));
+    }
+    emit_mc(circuit, restore_controls, wires[mid], gates::X02(),
+            granularity);
+}
+
+}  // namespace
+
+void
+append_qutrit_incrementer(Circuit& circuit, const std::vector<int>& wires,
+                          IncGranularity granularity)
+{
+    if (wires.empty()) {
+        return;
+    }
+    for (const int w : wires) {
+        if (circuit.dims().dim(w) != 3) {
+            throw std::invalid_argument(
+                "append_qutrit_incrementer: wires must be qutrits");
+        }
+    }
+    if (wires.size() == 1) {
+        circuit.append(gates::X01(), {wires[0]});
+        return;
+    }
+    // LSB: X+1 encodes both the flipped bit and the generate flag.
+    circuit.append(gates::Xplus1(), {wires[0]});
+    ripple(circuit, wires, /*c=*/0, /*lo=*/1,
+           /*hi=*/static_cast<int>(wires.size()) - 1, granularity);
+    // Restore the LSB: 1 -> 1 (bit was 0, now 1) and 2 -> 0 (bit wrapped).
+    circuit.append(gates::X02(), {wires[0]});
+}
+
+Circuit
+build_qutrit_incrementer(int n_bits, IncGranularity granularity)
+{
+    Circuit c(WireDims::uniform(n_bits, 3));
+    std::vector<int> wires;
+    for (int i = 0; i < n_bits; ++i) {
+        wires.push_back(i);
+    }
+    append_qutrit_incrementer(c, wires, granularity);
+    return c;
+}
+
+void
+append_qubit_staircase_incrementer(Circuit& circuit,
+                                   const std::vector<int>& wires,
+                                   bool decompose_toffoli)
+{
+    const int n = static_cast<int>(wires.size());
+    if (n == 0) {
+        return;
+    }
+    const QubitDecompOptions opts{decompose_toffoli};
+    // Flip bit j iff bits 0..j-1 are all ones; highest bits first so lower
+    // controls still hold pre-increment values.
+    for (int j = n - 1; j >= 1; --j) {
+        std::vector<int> controls(wires.begin(),
+                                  wires.begin() + j);
+        // Idle wires above j serve as dirty borrows.
+        std::vector<int> borrows(wires.begin() + j + 1, wires.end());
+        if (j <= 2) {
+            append_mcx_vchain(circuit, controls, wires[j], {}, opts);
+        } else if (static_cast<int>(borrows.size()) >= j - 2) {
+            append_mcx_vchain(circuit, controls, wires[j], borrows, opts);
+        } else if (!borrows.empty()) {
+            append_mcx_single_borrow(circuit, controls, wires[j],
+                                     borrows.front(), opts);
+        } else {
+            // Top gate: no free wires at all; ancilla-free recursion.
+            append_mcu_no_ancilla(circuit, controls, wires[j], gates::X(),
+                                  opts);
+        }
+    }
+    circuit.append(gates::X(), {wires[0]});
+}
+
+Circuit
+build_qubit_staircase_incrementer(int n_bits, bool decompose_toffoli)
+{
+    Circuit c(WireDims::uniform(n_bits, 2));
+    std::vector<int> wires;
+    for (int i = 0; i < n_bits; ++i) {
+        wires.push_back(i);
+    }
+    append_qubit_staircase_incrementer(c, wires, decompose_toffoli);
+    return c;
+}
+
+}  // namespace qd::ctor

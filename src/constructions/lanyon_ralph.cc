@@ -1,0 +1,51 @@
+#include "constructions/lanyon_ralph.h"
+
+#include <stdexcept>
+
+#include "qdsim/gate_library.h"
+
+namespace qd::ctor {
+
+int
+lanyon_ralph_target_dim(std::size_t n_controls)
+{
+    // Two disjoint counting tracks plus the crossover level: the |0> branch
+    // counts on levels n+2 .. 2n+2, the |1> branch on levels 1 .. n+1.
+    return 2 * static_cast<int>(n_controls) + 3;
+}
+
+void
+append_lanyon_ralph(Circuit& circuit, const std::vector<int>& controls,
+                    int target)
+{
+    const std::size_t n = controls.size();
+    const int d = circuit.dims().dim(target);
+    if (d < lanyon_ralph_target_dim(n)) {
+        throw std::invalid_argument(
+            "append_lanyon_ralph: target dim must be 2*n_controls + 3");
+    }
+    if (n == 0) {
+        circuit.append(gates::swap_levels(d, 0, 1), {target});
+        return;
+    }
+    const int ni = static_cast<int>(n);
+    const Gate add = gates::shift(d).controlled(2, 1);
+    const Gate sub = gates::unshift(d).controlled(2, 1);
+    const Gate prep = gates::swap_levels(d, 0, ni + 2);
+    // Exchanges the two all-controls-active branches: |1>-track top (n+1)
+    // with |0>-track top (2n+2). This is the only place the logical bit
+    // flips; every partially-activated branch walks back down unchanged.
+    const Gate cross = gates::swap_levels(d, ni + 1, 2 * ni + 2);
+
+    circuit.append(prep, {target});
+    for (const int c : controls) {
+        circuit.append(add, {c, target});
+    }
+    circuit.append(cross, {target});
+    for (auto it = controls.rbegin(); it != controls.rend(); ++it) {
+        circuit.append(sub, {*it, target});
+    }
+    circuit.append(prep, {target});
+}
+
+}  // namespace qd::ctor

@@ -1,0 +1,35 @@
+/**
+ * @file lanyon_ralph.h
+ * Lanyon/Ralph-style Generalized Toffoli with a d = Theta(N)-level target
+ * qudit (paper Table 1, columns "Lanyon [31], Ralph [32]").
+ *
+ * The target carries two disjoint counting tracks, one per logical value.
+ * Each control adds +1 to the target; a single-qudit swap of the two track
+ * tops exchanges exactly the two all-controls-active branches (the logical
+ * X); the additions are then undone. Linear depth, no ancilla, but the
+ * target must physically support 2N+3 levels. Exercises the simulator's
+ * mixed-radix support.
+ */
+#ifndef CONSTRUCTIONS_LANYON_RALPH_H
+#define CONSTRUCTIONS_LANYON_RALPH_H
+
+#include <vector>
+
+#include "qdsim/circuit.h"
+
+namespace qd::ctor {
+
+/** Required target dimension for n controls. */
+int lanyon_ralph_target_dim(std::size_t n_controls);
+
+/**
+ * Appends the Lanyon/Ralph construction: logical X on the target's
+ * {|0>,|1>} subspace iff all (qubit) controls are |1>. The target wire must
+ * have dimension lanyon_ralph_target_dim(controls.size()).
+ */
+void append_lanyon_ralph(Circuit& circuit, const std::vector<int>& controls,
+                         int target);
+
+}  // namespace qd::ctor
+
+#endif  // CONSTRUCTIONS_LANYON_RALPH_H

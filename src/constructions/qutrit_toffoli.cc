@@ -1,0 +1,161 @@
+#include "constructions/qutrit_toffoli.h"
+
+#include <stdexcept>
+
+#include "constructions/ternary_decomp.h"
+#include "qdsim/gate_library.h"
+
+namespace qd::ctor {
+
+namespace {
+
+/** One recorded tree gate, so the right half can mirror the left. */
+struct TreeGate {
+    ControlSpec a;  // first control (absent if single == true)
+    ControlSpec b;  // second control / the only control
+    int mid;        // target of the X+1 elevation
+    bool single;    // true for the two-wire CX+1 base case
+};
+
+/**
+ * Recursively compresses the AND of `wires` (all |1>-activated qutrits)
+ * into a single root wire. Appends gate records to `gates` and returns the
+ * root's ControlSpec: value 1 for a single wire, 2 for a computed root.
+ */
+ControlSpec
+compress(const std::vector<int>& wires, std::vector<TreeGate>& gates)
+{
+    const std::size_t n = wires.size();
+    if (n == 1) {
+        return on1(wires[0]);
+    }
+    if (n == 2) {
+        gates.push_back(TreeGate{ControlSpec{}, on1(wires[0]), wires[1],
+                                 /*single=*/true});
+        return on2(wires[1]);
+    }
+    const std::size_t mid = n / 2;
+    const std::vector<int> left(wires.begin(),
+                                wires.begin() + static_cast<long>(mid));
+    const std::vector<int> right(wires.begin() + static_cast<long>(mid) + 1,
+                                 wires.end());
+    const ControlSpec ra = compress(left, gates);
+    const ControlSpec rb = compress(right, gates);
+    gates.push_back(TreeGate{ra, rb, wires[mid], /*single=*/false});
+    return on2(wires[mid]);
+}
+
+/** Emits one tree gate (or its inverse) at the requested granularity. */
+void
+emit_tree_gate(Circuit& circuit, const TreeGate& g, bool inverse,
+               bool decompose)
+{
+    const Gate elevate = inverse ? gates::Xminus1() : gates::Xplus1();
+    if (g.single) {
+        append_controlled_u(circuit, g.b, g.mid, elevate);
+    } else if (decompose) {
+        append_cc_u(circuit, g.a, g.b, g.mid, elevate, /*decompose=*/true);
+    } else {
+        append_cc_u(circuit, g.a, g.b, g.mid, elevate, /*decompose=*/false);
+    }
+}
+
+}  // namespace
+
+void
+append_qutrit_tree_toffoli(Circuit& circuit,
+                           const std::vector<ControlSpec>& controls,
+                           int target, const Gate& target_gate,
+                           const QutritTreeOptions& options)
+{
+    validate_controls(circuit, controls, target);
+    if (target_gate.arity() != 1 ||
+        target_gate.dims()[0] != circuit.dims().dim(target)) {
+        throw std::invalid_argument(
+            "append_qutrit_tree_toffoli: target gate dim mismatch");
+    }
+    for (const ControlSpec& c : controls) {
+        if (circuit.dims().dim(c.wire) != 3) {
+            throw std::invalid_argument(
+                "append_qutrit_tree_toffoli: controls must be qutrits");
+        }
+    }
+
+    if (controls.empty()) {
+        circuit.append(target_gate, {target});
+        return;
+    }
+    if (controls.size() == 1) {
+        // Single control: a plain two-qutrit controlled gate, any value.
+        append_controlled_u(circuit, controls[0], target, target_gate);
+        return;
+    }
+
+    // --- Normalise control values -----------------------------------------
+    // |0>-controls become |1>-controls via an X01 sandwich.
+    std::vector<Operation> sandwich;  // applied before AND after
+    std::vector<int> ones;
+    std::vector<ControlSpec> twos;
+    for (const ControlSpec& c : controls) {
+        if (c.value == 0) {
+            sandwich.push_back(Operation{gates::X01(), {c.wire}});
+            ones.push_back(c.wire);
+        } else if (c.value == 1) {
+            ones.push_back(c.wire);
+        } else {
+            twos.push_back(c);
+        }
+    }
+
+    // Direct two-control fast path (covers paper Figure 4 for |2>-pairs).
+    if (ones.empty() && twos.size() == 2 && sandwich.empty()) {
+        append_cc_u(circuit, twos[0], twos[1], target, target_gate,
+                    options.decompose);
+        return;
+    }
+
+    // Keep at most one |2>-control for the final gate; convert the rest to
+    // |1>-controls with an X12 sandwich so they can join the tree.
+    while (twos.size() > 1) {
+        const ControlSpec c = twos.back();
+        twos.pop_back();
+        sandwich.push_back(Operation{gates::X12(), {c.wire}});
+        ones.push_back(c.wire);
+    }
+    if (ones.empty()) {
+        // Unreachable: >= 2 controls always leave at least one tree wire.
+        throw std::logic_error("append_qutrit_tree_toffoli: empty tree");
+    }
+
+    // --- Build -------------------------------------------------------------
+    for (const Operation& op : sandwich) {
+        circuit.append(op.gate, op.wires);
+    }
+
+    std::vector<TreeGate> tree;
+    const ControlSpec root = compress(ones, tree);
+
+    for (const TreeGate& g : tree) {
+        emit_tree_gate(circuit, g, /*inverse=*/false, options.decompose);
+    }
+
+    if (twos.empty()) {
+        append_controlled_u(circuit, root, target, target_gate);
+    } else if (options.decompose) {
+        append_cc_u(circuit, twos[0], root, target, target_gate,
+                    /*decompose=*/true);
+    } else {
+        append_cc_u(circuit, twos[0], root, target, target_gate,
+                    /*decompose=*/false);
+    }
+
+    for (auto it = tree.rbegin(); it != tree.rend(); ++it) {
+        emit_tree_gate(circuit, *it, /*inverse=*/true, options.decompose);
+    }
+
+    for (const Operation& op : sandwich) {
+        circuit.append(op.gate, op.wires);
+    }
+}
+
+}  // namespace qd::ctor

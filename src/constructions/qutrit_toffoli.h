@@ -1,0 +1,53 @@
+/**
+ * @file qutrit_toffoli.h
+ * The paper's primary contribution (Section 4.2): an ancilla-free,
+ * logarithmic-depth decomposition of the N-controlled Generalized Toffoli
+ * gate using the qutrit |2> state as temporary storage.
+ *
+ * The construction is a balanced binary tree over the control wires. Each
+ * internal tree gate CC(va,vb)-X+1 elevates its "mid" wire from |1> to |2>
+ * iff both subtree roots hold their required values, so the overall root
+ * reaches |2> iff every control was |1>. The target gate fires on the root's
+ * |2>, and the mirrored right half uncomputes the tree, restoring all
+ * controls. Inputs and outputs are qubit-valued; |2> appears only inside.
+ *
+ * Resources for N controls (Figures 9/10):
+ *   - depth   Theta(log N)  (tree levels x constant-depth CC decomposition)
+ *   - gates   Theta(N)      (~N three-qutrit gates -> ~7N two-qutrit gates)
+ *   - ancilla 0
+ *
+ * Controls may activate on |0>, |1> or |2> (needed by the incrementer,
+ * Section 5.3): |0>-controls are X01-sandwiched, and all |2>-controls but
+ * one are X12-sandwiched so the tree internals always elevate 1 -> 2.
+ */
+#ifndef CONSTRUCTIONS_QUTRIT_TOFFOLI_H
+#define CONSTRUCTIONS_QUTRIT_TOFFOLI_H
+
+#include "constructions/control_spec.h"
+#include "qdsim/circuit.h"
+
+namespace qd::ctor {
+
+/** Options for the qutrit tree construction. */
+struct QutritTreeOptions {
+    /** Emit two-qutrit gates (true) or three-qutrit tree gates (false). */
+    bool decompose = true;
+};
+
+/**
+ * Appends the qutrit-tree Generalized Toffoli to `circuit`:
+ * apply `target_gate` on `target` iff every control holds its activation
+ * value. All control wires must be qutrits. The target wire dimension must
+ * match `target_gate`.
+ *
+ * The control wires are restored exactly (uncomputation), so the gate
+ * composes freely inside larger circuits.
+ */
+void append_qutrit_tree_toffoli(Circuit& circuit,
+                                const std::vector<ControlSpec>& controls,
+                                int target, const Gate& target_gate,
+                                const QutritTreeOptions& options = {});
+
+}  // namespace qd::ctor
+
+#endif  // CONSTRUCTIONS_QUTRIT_TOFFOLI_H

@@ -1,0 +1,61 @@
+#include "constructions/ternary_decomp.h"
+
+#include <stdexcept>
+
+#include "qdsim/eigen.h"
+#include "qdsim/gate_library.h"
+
+namespace qd::ctor {
+
+void
+append_controlled_u(Circuit& circuit, const ControlSpec& control, int target,
+                    const Gate& u)
+{
+    validate_controls(circuit, {control}, target);
+    const int cd = circuit.dims().dim(control.wire);
+    circuit.append(u.controlled(cd, control.value), {control.wire, target});
+}
+
+void
+append_cc_u(Circuit& circuit, const ControlSpec& a, const ControlSpec& b,
+            int target, const Gate& u, bool decompose)
+{
+    validate_controls(circuit, {a, b}, target);
+    if (a.wire == b.wire) {
+        throw std::invalid_argument("append_cc_u: controls must differ");
+    }
+    const int da = circuit.dims().dim(a.wire);
+    const int db = circuit.dims().dim(b.wire);
+
+    if (!decompose) {
+        circuit.append(u.controlled({da, db}, {a.value, b.value}),
+                       {a.wire, b.wire, target});
+        return;
+    }
+    if (db != 3) {
+        throw std::invalid_argument(
+            "append_cc_u: decomposition requires a qutrit second control");
+    }
+
+    const Matrix w_m = unitary_power(u.matrix(), 1.0 / 3.0);
+    const Gate w = gates::from_matrix(u.name() + "^1/3", u.dims(), w_m);
+    const Gate w_dag = w.inverse();
+    const Gate v1 =
+        gates::from_matrix(u.name() + "^2/3", u.dims(), w_m * w_m);
+    const Gate shift_b = gates::Xplus1();
+
+    const Gate cv1 = v1.controlled(db, b.value);
+    const Gate cw_dag = w_dag.controlled(db, b.value);
+    const Gate cshift = shift_b.controlled(da, a.value);
+    const Gate cw_a = w.controlled(da, a.value);
+
+    circuit.append(cv1, {b.wire, target});
+    circuit.append(cshift, {a.wire, b.wire});
+    circuit.append(cw_dag, {b.wire, target});
+    circuit.append(cshift, {a.wire, b.wire});
+    circuit.append(cw_dag, {b.wire, target});
+    circuit.append(cshift, {a.wire, b.wire});
+    circuit.append(cw_a, {a.wire, target});
+}
+
+}  // namespace qd::ctor

@@ -1,0 +1,48 @@
+#include "constructions/wang.h"
+
+#include <stdexcept>
+
+#include "qdsim/gate_library.h"
+
+namespace qd::ctor {
+
+void
+append_wang_ladder(Circuit& circuit, const std::vector<int>& controls,
+                   int target, const Gate& target_gate)
+{
+    const std::size_t n = controls.size();
+    if (n == 0) {
+        circuit.append(target_gate, {target});
+        return;
+    }
+    for (const int c : controls) {
+        if (circuit.dims().dim(c) != 3) {
+            throw std::invalid_argument(
+                "append_wang_ladder: controls must be qutrits");
+        }
+    }
+    if (n == 1) {
+        circuit.append(target_gate.controlled(3, 1), {controls[0], target});
+        return;
+    }
+
+    // Up ladder: c[0] elevates c[1] on |1>; afterwards c[i] carries |2>
+    // iff c[0..i] were all |1>, so later rungs condition on |2>.
+    circuit.append(gates::Xplus1().controlled(3, 1),
+                   {controls[0], controls[1]});
+    for (std::size_t i = 2; i < n; ++i) {
+        circuit.append(gates::Xplus1().controlled(3, 2),
+                       {controls[i - 1], controls[i]});
+    }
+
+    circuit.append(target_gate.controlled(3, 2), {controls[n - 1], target});
+
+    for (std::size_t i = n; i-- > 2;) {
+        circuit.append(gates::Xminus1().controlled(3, 2),
+                       {controls[i - 1], controls[i]});
+    }
+    circuit.append(gates::Xminus1().controlled(3, 1),
+                   {controls[0], controls[1]});
+}
+
+}  // namespace qd::ctor

@@ -1,0 +1,30 @@
+/**
+ * @file wang.h
+ * Wang & Perkowski linear-depth ancilla-free Generalized Toffoli with
+ * qutrit controls (paper Table 1, column "Wang [25]").
+ *
+ * A ladder of |2>-controlled X+1 gates walks the "all ones so far" flag up
+ * the control register in the |2> state; the target fires on the last
+ * control's |2>; the mirrored ladder uncomputes. Depth and gate count are
+ * Theta(N) with small constants, but unlike the paper's tree the ladder is
+ * inherently serial.
+ */
+#ifndef CONSTRUCTIONS_WANG_H
+#define CONSTRUCTIONS_WANG_H
+
+#include <vector>
+
+#include "qdsim/circuit.h"
+
+namespace qd::ctor {
+
+/**
+ * Appends the Wang-Perkowski ladder. All control wires must be qutrits and
+ * activate on |1>; the target fires when every control is |1>.
+ */
+void append_wang_ladder(Circuit& circuit, const std::vector<int>& controls,
+                        int target, const Gate& target_gate);
+
+}  // namespace qd::ctor
+
+#endif  // CONSTRUCTIONS_WANG_H

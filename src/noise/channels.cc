@@ -1,0 +1,108 @@
+#include "noise/channels.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "qdsim/gate_library.h"
+
+namespace qd::noise {
+
+namespace {
+
+/** The d^2 generalized Paulis X^j Z^k, identity first. */
+std::vector<Matrix>
+generalized_paulis(int d)
+{
+    const Matrix x = gates::shift(d).matrix();
+    const Matrix z = gates::Zd(d).matrix();
+    std::vector<Matrix> xs = {Matrix::identity(static_cast<std::size_t>(d))};
+    std::vector<Matrix> zs = xs;
+    for (int k = 1; k < d; ++k) {
+        xs.push_back(xs.back() * x);
+        zs.push_back(zs.back() * z);
+    }
+    std::vector<Matrix> out;
+    out.reserve(static_cast<std::size_t>(d) * static_cast<std::size_t>(d));
+    for (int j = 0; j < d; ++j) {
+        for (int k = 0; k < d; ++k) {
+            out.push_back(xs[static_cast<std::size_t>(j)] *
+                          zs[static_cast<std::size_t>(k)]);
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+int
+depolarizing1_channel_count(int d)
+{
+    return d * d - 1;
+}
+
+int
+depolarizing2_channel_count(int da, int db)
+{
+    return da * da * db * db - 1;
+}
+
+MixedUnitaryChannel
+depolarizing1(int d, Real p_channel)
+{
+    MixedUnitaryChannel ch;
+    const auto paulis = generalized_paulis(d);
+    for (std::size_t i = 1; i < paulis.size(); ++i) {  // skip identity
+        ch.probs.push_back(p_channel);
+        ch.unitaries.push_back(paulis[i]);
+    }
+    return ch;
+}
+
+MixedUnitaryChannel
+depolarizing2(int da, int db, Real p_channel)
+{
+    MixedUnitaryChannel ch;
+    const auto pa = generalized_paulis(da);
+    const auto pb = generalized_paulis(db);
+    for (std::size_t i = 0; i < pa.size(); ++i) {
+        for (std::size_t j = 0; j < pb.size(); ++j) {
+            if (i == 0 && j == 0) {
+                continue;
+            }
+            ch.probs.push_back(p_channel);
+            ch.unitaries.push_back(pa[i].kron(pb[j]));
+        }
+    }
+    return ch;
+}
+
+KrausChannel
+amplitude_damping(int d, const std::vector<Real>& lambdas)
+{
+    if (static_cast<int>(lambdas.size()) != d - 1) {
+        throw std::invalid_argument(
+            "amplitude_damping: need d-1 lambda values");
+    }
+    KrausChannel ch;
+    Matrix k0(static_cast<std::size_t>(d), static_cast<std::size_t>(d));
+    k0(0, 0) = Complex(1, 0);
+    for (int m = 1; m < d; ++m) {
+        const Real lam = lambdas[static_cast<std::size_t>(m - 1)];
+        if (lam < 0 || lam > 1) {
+            throw std::invalid_argument(
+                "amplitude_damping: lambda out of [0,1]");
+        }
+        k0(static_cast<std::size_t>(m), static_cast<std::size_t>(m)) =
+            Complex(std::sqrt(1.0 - lam), 0);
+    }
+    ch.operators.push_back(std::move(k0));
+    for (int m = 1; m < d; ++m) {
+        const Real lam = lambdas[static_cast<std::size_t>(m - 1)];
+        Matrix km(static_cast<std::size_t>(d), static_cast<std::size_t>(d));
+        km(0, static_cast<std::size_t>(m)) = Complex(std::sqrt(lam), 0);
+        ch.operators.push_back(std::move(km));
+    }
+    return ch;
+}
+
+}  // namespace qd::noise

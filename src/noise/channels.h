@@ -1,0 +1,54 @@
+/**
+ * @file channels.h
+ * Concrete error channels (paper Section 7.1, Appendix A.1).
+ *
+ * Gate errors: symmetric depolarizing over generalized Pauli operators
+ * X_d^j Z_d^k. A d-level qudit has d^2-1 single-qudit error channels
+ * (3 for qubits, 8 for qutrits) and a pair of qudits has (da*db)^2-1
+ * two-qudit channels (15 / 80), each applied with the same per-channel
+ * probability. This reproduces the paper's key asymmetry: two-qutrit gates
+ * are (1-80 p2)/(1-15 p2) less reliable than two-qubit gates.
+ *
+ * Idle errors: amplitude damping with per-level decay |m> -> |0> at
+ * probability lambda_m = 1 - exp(-m dt / T1) (Appendix A.2, Eq. 8/9).
+ */
+#ifndef NOISE_CHANNELS_H
+#define NOISE_CHANNELS_H
+
+#include "noise/kraus.h"
+
+namespace qd::noise {
+
+/** Number of non-identity single-qudit depolarizing channels: d^2 - 1. */
+int depolarizing1_channel_count(int d);
+
+/** Number of non-identity two-qudit channels: (da*db)^2 - 1. */
+int depolarizing2_channel_count(int da, int db);
+
+/**
+ * Symmetric depolarizing channel on one d-level qudit: each of the d^2-1
+ * generalized Paulis X^j Z^k ((j,k) != (0,0)) occurs with probability
+ * `p_channel`.
+ */
+MixedUnitaryChannel depolarizing1(int d, Real p_channel);
+
+/**
+ * Symmetric two-qudit depolarizing channel: each of the (da*db)^2-1
+ * products (X^j1 Z^k1 (x) X^j2 Z^k2) != I occurs with probability
+ * `p_channel`.
+ */
+MixedUnitaryChannel depolarizing2(int da, int db, Real p_channel);
+
+/**
+ * Amplitude damping Kraus set for a d-level qudit.
+ *
+ * @param lambdas lambdas[m-1] is the decay probability of level m to |0>
+ *                (paper Eq. 8: qutrits damp from both |1> and |2> to |0>).
+ * @return operators[0] is the no-jump K0 = diag(1, sqrt(1-l1), ...);
+ *         operators[m] is the jump sqrt(l_m) |0><m|.
+ */
+KrausChannel amplitude_damping(int d, const std::vector<Real>& lambdas);
+
+}  // namespace qd::noise
+
+#endif  // NOISE_CHANNELS_H

@@ -1,0 +1,173 @@
+#include "noise/density_matrix.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "noise/channels.h"
+#include "qdsim/moments.h"
+#include "qdsim/simulator.h"
+
+namespace qd::noise {
+
+DensityMatrix::DensityMatrix(const StateVector& psi)
+    : dims_(psi.dims()), rho_(psi.size(), psi.size()) {
+    for (Index r = 0; r < psi.size(); ++r) {
+        for (Index c = 0; c < psi.size(); ++c) {
+            rho_(r, c) = psi[r] * std::conj(psi[c]);
+        }
+    }
+}
+
+DensityMatrix::DensityMatrix(WireDims dims, const std::vector<int>& digits)
+    : DensityMatrix(StateVector(std::move(dims), digits)) {}
+
+Matrix
+DensityMatrix::expand(const Matrix& op, std::span<const int> wires) const
+{
+    const Index total = dims_.size();
+    Matrix full(total, total);
+    const int k = static_cast<int>(wires.size());
+    for (Index r = 0; r < total; ++r) {
+        for (Index c = 0; c < total; ++c) {
+            // Non-operand digits must agree.
+            bool same = true;
+            for (int w = 0; w < dims_.num_wires() && same; ++w) {
+                bool is_operand = false;
+                for (const int t : wires) {
+                    if (t == w) {
+                        is_operand = true;
+                        break;
+                    }
+                }
+                if (!is_operand && dims_.digit(r, w) != dims_.digit(c, w)) {
+                    same = false;
+                }
+            }
+            if (!same) {
+                continue;
+            }
+            Index lr = 0, lc = 0;
+            for (int i = 0; i < k; ++i) {
+                const int d = dims_.dim(wires[i]);
+                lr = lr * static_cast<Index>(d) +
+                     static_cast<Index>(dims_.digit(r, wires[i]));
+                lc = lc * static_cast<Index>(d) +
+                     static_cast<Index>(dims_.digit(c, wires[i]));
+            }
+            full(r, c) = op(lr, lc);
+        }
+    }
+    return full;
+}
+
+void
+DensityMatrix::apply_unitary(const Matrix& u, std::span<const int> wires)
+{
+    const Matrix full = expand(u, wires);
+    rho_ = full * rho_ * full.dagger();
+}
+
+void
+DensityMatrix::apply_channel(const KrausChannel& channel,
+                             std::span<const int> wires)
+{
+    Matrix acc(rho_.rows(), rho_.cols());
+    for (const Matrix& k : channel.operators) {
+        const Matrix full = expand(k, wires);
+        acc = acc + full * rho_ * full.dagger();
+    }
+    rho_ = std::move(acc);
+}
+
+Real
+DensityMatrix::fidelity(const StateVector& psi) const
+{
+    Complex acc(0, 0);
+    for (Index r = 0; r < psi.size(); ++r) {
+        for (Index c = 0; c < psi.size(); ++c) {
+            acc += std::conj(psi[r]) * rho_(r, c) * psi[c];
+        }
+    }
+    return acc.real();
+}
+
+Real
+DensityMatrix::trace_real() const
+{
+    return rho_.trace().real();
+}
+
+namespace {
+
+/** Gaussian dephasing on one wire: rho_{jk} *= exp(-(j-k)^2 s^2 / 2),
+ *  the exact average over a random phase walk of std s per level. */
+void
+apply_gaussian_dephasing(DensityMatrix& dm, Matrix& rho, int wire, Real s)
+{
+    const WireDims& dims = dm.dims();
+    for (Index r = 0; r < dims.size(); ++r) {
+        for (Index c = 0; c < dims.size(); ++c) {
+            const int dj = dims.digit(r, wire) - dims.digit(c, wire);
+            if (dj != 0) {
+                rho(r, c) *= std::exp(-0.5 * s * s * dj * dj);
+            }
+        }
+    }
+}
+
+}  // namespace
+
+Real
+density_matrix_fidelity(const Circuit& circuit, const NoiseModel& model,
+                        const StateVector& initial)
+{
+    const StateVector ideal = simulate(circuit, initial);
+    DensityMatrix dm(initial);
+    Matrix& rho = dm.mutable_rho();
+
+    const auto moments = schedule_asap(circuit);
+    for (const Moment& moment : moments) {
+        for (const std::size_t idx : moment.op_indices) {
+            const Operation& op = circuit.ops()[idx];
+            dm.apply_unitary(op.gate.matrix(),
+                             std::span<const int>(op.wires));
+            // Gate error channel.
+            if (op.gate.arity() == 1 && model.p1 > 0) {
+                const auto ch = depolarizing1(
+                    op.gate.dims()[0],
+                    model.per_channel_1q(op.gate.dims()[0]));
+                dm.apply_channel(
+                    ch.to_kraus(static_cast<std::size_t>(op.gate.dims()[0])),
+                    std::span<const int>(op.wires));
+            } else if (op.gate.arity() == 2 && model.p2 > 0) {
+                const auto ch = depolarizing2(
+                    op.gate.dims()[0], op.gate.dims()[1],
+                    model.per_channel_2q(op.gate.dims()[0],
+                                         op.gate.dims()[1]));
+                dm.apply_channel(ch.to_kraus(op.gate.block_size()),
+                                 std::span<const int>(op.wires));
+            }
+        }
+        const Real dt = model.moment_duration(moment.has_multi_qudit);
+        for (int w = 0; w < circuit.num_wires(); ++w) {
+            const int d = circuit.dims().dim(w);
+            if (model.has_damping()) {
+                std::vector<Real> lambdas;
+                for (int m = 1; m < d; ++m) {
+                    lambdas.push_back(model.lambda(m, dt));
+                }
+                const int wire[1] = {w};
+                dm.apply_channel(amplitude_damping(d, lambdas),
+                                 std::span<const int>(wire, 1));
+            }
+            if (model.has_dephasing()) {
+                apply_gaussian_dephasing(dm, rho, w,
+                                         model.dephasing_sigma *
+                                             std::sqrt(dt));
+            }
+        }
+    }
+    return dm.fidelity(ideal);
+}
+
+}  // namespace qd::noise

@@ -1,0 +1,53 @@
+#include "noise/kraus.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qd::noise {
+
+bool
+KrausChannel::is_complete(Real tol) const
+{
+    if (operators.empty()) {
+        return false;
+    }
+    const std::size_t n = operators[0].cols();
+    Matrix acc(n, n);
+    for (const Matrix& k : operators) {
+        acc = acc + k.dagger() * k;
+    }
+    return acc.approx_equal(Matrix::identity(n), tol);
+}
+
+Real
+MixedUnitaryChannel::identity_prob() const
+{
+    Real total = 0;
+    for (const Real p : probs) {
+        total += p;
+    }
+    return 1.0 - total;
+}
+
+KrausChannel
+MixedUnitaryChannel::to_kraus(std::size_t dim) const
+{
+    if (probs.size() != unitaries.size()) {
+        throw std::invalid_argument("MixedUnitaryChannel: size mismatch");
+    }
+    KrausChannel out;
+    const Real id_p = identity_prob();
+    if (id_p < -1e-12) {
+        throw std::invalid_argument(
+            "MixedUnitaryChannel: probabilities exceed 1");
+    }
+    out.operators.push_back(Matrix::identity(dim) *
+                            Complex(std::sqrt(std::max<Real>(id_p, 0)), 0));
+    for (std::size_t i = 0; i < probs.size(); ++i) {
+        out.operators.push_back(unitaries[i] *
+                                Complex(std::sqrt(probs[i]), 0));
+    }
+    return out;
+}
+
+}  // namespace qd::noise

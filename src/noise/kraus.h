@@ -1,0 +1,46 @@
+/**
+ * @file kraus.h
+ * Kraus-operator channels (paper Appendix A, Eq. 1).
+ *
+ * A channel E(rho) = sum_i K_i rho K_i^dagger with sum_i K_i^dagger K_i = I.
+ * Two specialisations matter here:
+ *   - MixedUnitaryChannel: each K_i = sqrt(p_i) U_i with U_i unitary
+ *     (depolarizing gate errors). Trajectory draws are state-independent.
+ *   - General Kraus sets (amplitude damping): jump probabilities depend on
+ *     the state, ||K_i |psi>||^2.
+ */
+#ifndef NOISE_KRAUS_H
+#define NOISE_KRAUS_H
+
+#include <vector>
+
+#include "qdsim/matrix.h"
+
+namespace qd::noise {
+
+/** A general Kraus channel over a fixed-dimension operand block. */
+struct KrausChannel {
+    std::vector<Matrix> operators;
+
+    /** True if sum K^dagger K == I within tol (trace preservation). */
+    bool is_complete(Real tol = 1e-8) const;
+};
+
+/**
+ * A probabilistic mixture of unitaries: with probability probs[i] apply
+ * unitaries[i]; with the remaining probability apply identity.
+ */
+struct MixedUnitaryChannel {
+    std::vector<Real> probs;
+    std::vector<Matrix> unitaries;
+
+    /** 1 - sum(probs): the no-error probability. */
+    Real identity_prob() const;
+
+    /** Equivalent general Kraus form (for density-matrix oracles). */
+    KrausChannel to_kraus(std::size_t dim) const;
+};
+
+}  // namespace qd::noise
+
+#endif  // NOISE_KRAUS_H

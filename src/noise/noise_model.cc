@@ -1,0 +1,74 @@
+#include "noise/noise_model.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "noise/channels.h"
+
+namespace qd::noise {
+
+Real
+NoiseModel::lambda(int m, Real dt) const
+{
+    if (!has_damping()) {
+        return 0;
+    }
+    return 1.0 - std::exp(-static_cast<Real>(m) * dt / t1);
+}
+
+Real
+NoiseModel::gate_error_total_1q(int d) const
+{
+    if (convention == GateErrorConvention::kTotal) {
+        return p1;
+    }
+    return static_cast<Real>(depolarizing1_channel_count(d)) * p1;
+}
+
+Real
+NoiseModel::gate_error_total_2q(int da, int db) const
+{
+    if (convention == GateErrorConvention::kTotal) {
+        return p2;
+    }
+    return static_cast<Real>(depolarizing2_channel_count(da, db)) * p2;
+}
+
+Real
+NoiseModel::per_channel_1q(int d) const
+{
+    if (convention == GateErrorConvention::kTotal) {
+        return p1 / static_cast<Real>(depolarizing1_channel_count(d));
+    }
+    return p1;
+}
+
+Real
+NoiseModel::per_channel_2q(int da, int db) const
+{
+    if (convention == GateErrorConvention::kTotal) {
+        return p2 / static_cast<Real>(depolarizing2_channel_count(da, db));
+    }
+    return p2;
+}
+
+std::string
+NoiseModel::describe() const
+{
+    char buf[256];
+    if (convention == GateErrorConvention::kPerChannel) {
+        std::snprintf(buf, sizeof(buf),
+                      "%s: 3p1=%.2e 15p2=%.2e T1=%.2e s dt1=%.1e s "
+                      "dt2=%.1e s sigma=%.2f",
+                      name.c_str(), 3 * p1, 15 * p2, t1, dt_1q, dt_2q,
+                      dephasing_sigma);
+    } else {
+        std::snprintf(buf, sizeof(buf),
+                      "%s: p1=%.2e p2=%.2e (total) dt1=%.1e s dt2=%.1e s "
+                      "sigma=%.2f",
+                      name.c_str(), p1, p2, dt_1q, dt_2q, dephasing_sigma);
+    }
+    return buf;
+}
+
+}  // namespace qd::noise

@@ -1,0 +1,52 @@
+#include "qdsim/basis.h"
+
+#include <stdexcept>
+
+namespace qd {
+
+WireDims::WireDims(std::vector<int> dims) : dims_(std::move(dims)) {
+    strides_.resize(dims_.size());
+    size_ = 1;
+    for (std::size_t i = dims_.size(); i-- > 0;) {
+        if (dims_[i] < 2) {
+            throw std::invalid_argument("WireDims: dimension must be >= 2");
+        }
+        strides_[i] = size_;
+        size_ *= static_cast<Index>(dims_[i]);
+    }
+}
+
+WireDims
+WireDims::uniform(int n, int d)
+{
+    return WireDims(std::vector<int>(static_cast<std::size_t>(n), d));
+}
+
+Index
+WireDims::pack(const std::vector<int>& digits) const
+{
+    if (digits.size() != dims_.size()) {
+        throw std::invalid_argument("WireDims::pack: digit count mismatch");
+    }
+    Index idx = 0;
+    for (std::size_t i = 0; i < digits.size(); ++i) {
+        if (digits[i] < 0 || digits[i] >= dims_[i]) {
+            throw std::out_of_range("WireDims::pack: digit out of range");
+        }
+        idx += static_cast<Index>(digits[i]) * strides_[i];
+    }
+    return idx;
+}
+
+std::vector<int>
+WireDims::unpack(Index index) const
+{
+    std::vector<int> digits(dims_.size());
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+        digits[i] = static_cast<int>((index / strides_[i]) %
+                                     static_cast<Index>(dims_[i]));
+    }
+    return digits;
+}
+
+}  // namespace qd

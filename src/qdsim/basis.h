@@ -1,0 +1,69 @@
+/**
+ * @file basis.h
+ * Mixed-radix index arithmetic for registers of qudits with per-wire
+ * dimensions.
+ *
+ * Wire 0 is the most significant digit (Cirq convention): the basis state
+ * |x0 x1 ... x_{n-1}> has linear index
+ *     sum_i x_i * stride(i),  stride(i) = prod_{j>i} dim(j).
+ */
+#ifndef QDSIM_BASIS_H
+#define QDSIM_BASIS_H
+
+#include <vector>
+
+#include "qdsim/types.h"
+
+namespace qd {
+
+/**
+ * Immutable description of a mixed-radix register: per-wire dimensions and
+ * derived strides/total size.
+ */
+class WireDims {
+  public:
+    WireDims() = default;
+
+    /** Per-wire dimensions; each must be >= 2. */
+    explicit WireDims(std::vector<int> dims);
+
+    /** Uniform register of `n` wires with dimension `d`. */
+    static WireDims uniform(int n, int d);
+
+    int num_wires() const { return static_cast<int>(dims_.size()); }
+    int dim(int wire) const { return dims_[static_cast<std::size_t>(wire)]; }
+    const std::vector<int>& dims() const { return dims_; }
+
+    /** Linear stride of a wire's digit in the state index. */
+    Index stride(int wire) const {
+        return strides_[static_cast<std::size_t>(wire)];
+    }
+
+    /** Total Hilbert-space dimension (product of all wire dims). */
+    Index size() const { return size_; }
+
+    /** Digit of `index` corresponding to `wire`. */
+    int digit(Index index, int wire) const {
+        return static_cast<int>((index / stride(wire)) %
+                                static_cast<Index>(dim(wire)));
+    }
+
+    /** Packs a digit tuple into a linear index. */
+    Index pack(const std::vector<int>& digits) const;
+
+    /** Unpacks a linear index into a digit tuple. */
+    std::vector<int> unpack(Index index) const;
+
+    bool operator==(const WireDims& other) const {
+        return dims_ == other.dims_;
+    }
+
+  private:
+    std::vector<int> dims_;
+    std::vector<Index> strides_;
+    Index size_ = 1;
+};
+
+}  // namespace qd
+
+#endif  // QDSIM_BASIS_H

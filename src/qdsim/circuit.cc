@@ -1,0 +1,116 @@
+#include "qdsim/circuit.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "qdsim/moments.h"
+
+namespace qd {
+
+void
+Circuit::append(const Gate& gate, const std::vector<int>& wires)
+{
+    if (gate.empty()) {
+        throw std::invalid_argument("Circuit::append: empty gate");
+    }
+    if (static_cast<int>(wires.size()) != gate.arity()) {
+        throw std::invalid_argument("Circuit::append: wire count mismatch "
+                                    "for gate " + gate.name());
+    }
+    for (std::size_t i = 0; i < wires.size(); ++i) {
+        const int w = wires[i];
+        if (w < 0 || w >= dims_.num_wires()) {
+            throw std::out_of_range("Circuit::append: wire out of range");
+        }
+        if (dims_.dim(w) != gate.dims()[i]) {
+            throw std::invalid_argument(
+                "Circuit::append: gate " + gate.name() + " operand " +
+                std::to_string(i) + " dim " +
+                std::to_string(gate.dims()[i]) + " != wire dim " +
+                std::to_string(dims_.dim(w)));
+        }
+        for (std::size_t j = i + 1; j < wires.size(); ++j) {
+            if (wires[j] == w) {
+                throw std::invalid_argument(
+                    "Circuit::append: duplicate wire for " + gate.name());
+            }
+        }
+    }
+    ops_.push_back(Operation{gate, wires});
+}
+
+void
+Circuit::extend(const Circuit& other)
+{
+    if (!(other.dims_ == dims_)) {
+        throw std::invalid_argument("Circuit::extend: register mismatch");
+    }
+    ops_.insert(ops_.end(), other.ops_.begin(), other.ops_.end());
+}
+
+Circuit
+Circuit::inverse() const
+{
+    Circuit inv(dims_);
+    inv.ops_.reserve(ops_.size());
+    for (auto it = ops_.rbegin(); it != ops_.rend(); ++it) {
+        inv.ops_.push_back(Operation{it->gate.inverse(), it->wires});
+    }
+    return inv;
+}
+
+Circuit::Stats
+Circuit::stats() const
+{
+    Stats s;
+    s.total_gates = ops_.size();
+    for (const Operation& op : ops_) {
+        switch (op.gate.arity()) {
+          case 1:
+            ++s.one_qudit;
+            break;
+          case 2:
+            ++s.two_qudit;
+            break;
+          default:
+            ++s.three_plus_qudit;
+            break;
+        }
+    }
+    s.depth = depth();
+    return s;
+}
+
+std::size_t
+Circuit::two_qudit_count() const
+{
+    std::size_t n = 0;
+    for (const Operation& op : ops_) {
+        if (op.gate.arity() == 2) {
+            ++n;
+        }
+    }
+    return n;
+}
+
+int
+Circuit::depth() const
+{
+    return circuit_depth(*this);
+}
+
+std::string
+Circuit::summary(const std::string& label) const
+{
+    const Stats s = stats();
+    std::string out = label.empty() ? std::string("circuit") : label;
+    out += ": width=" + std::to_string(num_wires());
+    out += " gates=" + std::to_string(s.total_gates);
+    out += " (1q=" + std::to_string(s.one_qudit);
+    out += ", 2q=" + std::to_string(s.two_qudit);
+    out += ", 3q+=" + std::to_string(s.three_plus_qudit);
+    out += ") depth=" + std::to_string(s.depth);
+    return out;
+}
+
+}  // namespace qd

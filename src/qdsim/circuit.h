@@ -1,0 +1,73 @@
+/**
+ * @file circuit.h
+ * Circuit IR: an ordered list of operations over a mixed-radix register,
+ * with resource accounting (paper Section 2: circuit width and depth).
+ */
+#ifndef QDSIM_CIRCUIT_H
+#define QDSIM_CIRCUIT_H
+
+#include <string>
+#include <vector>
+
+#include "qdsim/gate.h"
+
+namespace qd {
+
+/**
+ * An ordered quantum circuit over wires with per-wire dimensions.
+ *
+ * Depth is computed by the ASAP scheduler in moments.h; `Stats` aggregates
+ * the counts the paper's figures report (total gates, two-qudit gates,
+ * depth).
+ */
+class Circuit {
+  public:
+    Circuit() = default;
+    explicit Circuit(WireDims dims) : dims_(std::move(dims)) {}
+
+    const WireDims& dims() const { return dims_; }
+    int num_wires() const { return dims_.num_wires(); }
+
+    const std::vector<Operation>& ops() const { return ops_; }
+    std::size_t num_ops() const { return ops_.size(); }
+    bool empty_circuit() const { return ops_.empty(); }
+
+    /**
+     * Appends a gate on the given wires. Validates distinctness and
+     * dimension agreement between the gate's operands and the wires.
+     */
+    void append(const Gate& gate, const std::vector<int>& wires);
+
+    /** Appends all operations of another circuit over the same register. */
+    void extend(const Circuit& other);
+
+    /** Circuit applying the inverse operations in reverse order. */
+    Circuit inverse() const;
+
+    /** Resource statistics used throughout the evaluation. */
+    struct Stats {
+        std::size_t total_gates = 0;
+        std::size_t one_qudit = 0;
+        std::size_t two_qudit = 0;
+        std::size_t three_plus_qudit = 0;
+        int depth = 0;  ///< critical path length in moments
+    };
+    Stats stats() const;
+
+    /** Number of two-qudit gates (the paper's Figure 10 metric). */
+    std::size_t two_qudit_count() const;
+
+    /** Critical path length in gate moments (the Figure 9 metric). */
+    int depth() const;
+
+    /** Single-line textual summary (name, width, counts, depth). */
+    std::string summary(const std::string& label = "") const;
+
+  private:
+    WireDims dims_;
+    std::vector<Operation> ops_;
+};
+
+}  // namespace qd
+
+#endif  // QDSIM_CIRCUIT_H

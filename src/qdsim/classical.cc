@@ -1,0 +1,77 @@
+#include "qdsim/classical.h"
+
+#include <stdexcept>
+
+namespace qd {
+
+bool
+is_classical_circuit(const Circuit& circuit)
+{
+    for (const Operation& op : circuit.ops()) {
+        if (!op.gate.is_permutation()) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::vector<int>
+classical_run(const Circuit& circuit, std::vector<int> input)
+{
+    if (static_cast<int>(input.size()) != circuit.num_wires()) {
+        throw std::invalid_argument("classical_run: input width mismatch");
+    }
+    for (const Operation& op : circuit.ops()) {
+        const Gate& g = op.gate;
+        if (!g.is_permutation()) {
+            throw std::invalid_argument("classical_run: gate " + g.name() +
+                                        " has no classical action");
+        }
+        // Pack operand digits into a local index (operand 0 most
+        // significant), permute, unpack.
+        Index local = 0;
+        for (std::size_t i = 0; i < op.wires.size(); ++i) {
+            local = local * static_cast<Index>(g.dims()[i]) +
+                    static_cast<Index>(
+                        input[static_cast<std::size_t>(op.wires[i])]);
+        }
+        Index out = g.permute(local);
+        for (std::size_t i = op.wires.size(); i-- > 0;) {
+            const Index d = static_cast<Index>(g.dims()[i]);
+            input[static_cast<std::size_t>(op.wires[i])] =
+                static_cast<int>(out % d);
+            out /= d;
+        }
+    }
+    return input;
+}
+
+std::vector<int>
+verify_exhaustive(const Circuit& circuit, int radix,
+                  const std::function<std::vector<int>(
+                      const std::vector<int>&)>& reference)
+{
+    const int n = circuit.num_wires();
+    std::vector<int> digits(static_cast<std::size_t>(n), 0);
+    for (;;) {
+        const std::vector<int> expected = reference(digits);
+        const std::vector<int> actual = classical_run(circuit, digits);
+        if (expected != actual) {
+            return digits;
+        }
+        // Advance radix-limited odometer.
+        int w = n - 1;
+        for (; w >= 0; --w) {
+            auto& d = digits[static_cast<std::size_t>(w)];
+            if (++d < radix) {
+                break;
+            }
+            d = 0;
+        }
+        if (w < 0) {
+            return {};
+        }
+    }
+}
+
+}  // namespace qd

@@ -1,0 +1,152 @@
+#include "qdsim/diagram.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "qdsim/moments.h"
+
+namespace qd {
+
+namespace {
+
+/** Splits a controlled-gate name "C[2][1]X+1" into control values and the
+ *  base name; returns false for non-controlled names. */
+bool
+parse_controls(const std::string& name, std::vector<int>* values,
+               std::string* base)
+{
+    if (name.empty() || name[0] != 'C' || name.size() < 4 ||
+        name[1] != '[') {
+        return false;
+    }
+    std::size_t pos = 1;
+    while (pos < name.size() && name[pos] == '[') {
+        const std::size_t close = name.find(']', pos);
+        if (close == std::string::npos) {
+            return false;
+        }
+        values->push_back(std::atoi(name.substr(pos + 1,
+                                                close - pos - 1).c_str()));
+        pos = close + 1;
+    }
+    if (values->empty() || pos >= name.size()) {
+        return false;
+    }
+    *base = name.substr(pos);
+    return true;
+}
+
+/** Per-wire token of one operation ("" if the wire is not an operand). */
+std::vector<std::string>
+op_tokens(const Circuit& circuit, const Operation& op)
+{
+    std::vector<std::string> tokens(
+        static_cast<std::size_t>(circuit.num_wires()));
+    std::vector<int> values;
+    std::string base;
+    if (op.gate.arity() >= 2 &&
+        parse_controls(op.gate.name(), &values, &base) &&
+        values.size() + 1 <= op.wires.size()) {
+        for (std::size_t i = 0; i < values.size(); ++i) {
+            tokens[static_cast<std::size_t>(op.wires[i])] =
+                std::to_string(values[i]);
+        }
+        for (std::size_t i = values.size(); i < op.wires.size(); ++i) {
+            tokens[static_cast<std::size_t>(op.wires[i])] = base;
+        }
+    } else {
+        for (const int w : op.wires) {
+            tokens[static_cast<std::size_t>(w)] = op.gate.name();
+        }
+    }
+    return tokens;
+}
+
+}  // namespace
+
+std::string
+render_diagram(const Circuit& circuit, const DiagramOptions& options)
+{
+    const int n = circuit.num_wires();
+    // Column = list of ops (a moment, or a single op).
+    std::vector<std::vector<std::size_t>> columns;
+    if (options.by_moments) {
+        for (const Moment& m : schedule_asap(circuit)) {
+            columns.push_back(m.op_indices);
+        }
+    } else {
+        for (std::size_t i = 0; i < circuit.num_ops(); ++i) {
+            columns.push_back({i});
+        }
+    }
+    const bool truncated =
+        static_cast<int>(columns.size()) > options.max_columns;
+    if (truncated) {
+        columns.resize(static_cast<std::size_t>(options.max_columns));
+    }
+
+    // Row text per wire; start with labels.
+    std::vector<std::string> rows(static_cast<std::size_t>(n));
+    std::size_t label_width = 0;
+    for (int w = 0; w < n; ++w) {
+        rows[static_cast<std::size_t>(w)] =
+            options.wire_prefix + std::to_string(w) + ": ";
+        label_width = std::max(label_width,
+                               rows[static_cast<std::size_t>(w)].size());
+    }
+    for (auto& r : rows) {
+        r.resize(label_width, ' ');
+    }
+
+    for (const auto& col : columns) {
+        std::vector<std::string> tokens(static_cast<std::size_t>(n));
+        std::vector<bool> in_span(static_cast<std::size_t>(n), false);
+        for (const std::size_t idx : col) {
+            const Operation& op = circuit.ops()[idx];
+            const auto t = op_tokens(circuit, op);
+            int lo = n, hi = -1;
+            for (const int w : op.wires) {
+                lo = std::min(lo, w);
+                hi = std::max(hi, w);
+            }
+            for (int w = 0; w < n; ++w) {
+                const std::size_t uw = static_cast<std::size_t>(w);
+                if (!t[uw].empty()) {
+                    tokens[uw] = t[uw];
+                } else if (w > lo && w < hi) {
+                    in_span[uw] = true;
+                }
+            }
+        }
+        std::size_t width = 1;
+        for (const auto& t : tokens) {
+            width = std::max(width, t.size());
+        }
+        for (int w = 0; w < n; ++w) {
+            const std::size_t uw = static_cast<std::size_t>(w);
+            std::string cell;
+            if (!tokens[uw].empty()) {
+                cell = tokens[uw];
+            } else if (in_span[uw]) {
+                cell = "|";
+            }
+            // Centre the cell in '-' padding with one '-' margin each side.
+            const std::size_t pad = width - cell.size();
+            const std::size_t left = pad / 2 + 1;
+            const std::size_t right = pad - pad / 2 + 1;
+            rows[uw] += std::string(left, '-') + cell +
+                        std::string(right, '-');
+        }
+    }
+    std::string out;
+    for (int w = 0; w < n; ++w) {
+        out += rows[static_cast<std::size_t>(w)];
+        if (truncated) {
+            out += "...";
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+}  // namespace qd

@@ -1,0 +1,40 @@
+/**
+ * @file diagram.h
+ * ASCII circuit diagrams in the paper's visual convention: one row per
+ * wire, controls drawn as their activation level (the paper's red "1" /
+ * blue "2" / "0" controls), targets as gate-name boxes, verticals joining
+ * the operands of multi-wire gates.
+ */
+#ifndef QDSIM_DIAGRAM_H
+#define QDSIM_DIAGRAM_H
+
+#include <string>
+
+#include "qdsim/circuit.h"
+
+namespace qd {
+
+/** Rendering options. */
+struct DiagramOptions {
+    /** Collapse operations into ASAP moments (columns share a time step)
+     *  instead of one column per operation. */
+    bool by_moments = true;
+    /** Maximum rendered columns; longer circuits are truncated with an
+     *  ellipsis column. */
+    int max_columns = 48;
+    /** Wire label prefix, e.g. "q" -> q0, q1, ... */
+    std::string wire_prefix = "q";
+};
+
+/**
+ * Renders the circuit as a multi-line ASCII diagram. Controlled gates
+ * built via Gate::controlled draw each control as its activation level on
+ * the control wire and the base gate name on the target wire; other
+ * multi-wire gates draw their name on every operand.
+ */
+std::string render_diagram(const Circuit& circuit,
+                           const DiagramOptions& options = {});
+
+}  // namespace qd
+
+#endif  // QDSIM_DIAGRAM_H

@@ -1,0 +1,129 @@
+#include "qdsim/gate.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qd {
+
+namespace {
+
+/** Attempts to read `m` as a permutation matrix; empty optional if not. */
+std::optional<std::vector<Index>>
+derive_permutation(const Matrix& m)
+{
+    const std::size_t n = m.rows();
+    std::vector<Index> perm(n, 0);
+    std::vector<bool> hit(n, false);
+    for (std::size_t col = 0; col < n; ++col) {
+        int ones = 0;
+        std::size_t row_of_one = 0;
+        for (std::size_t row = 0; row < n; ++row) {
+            const Complex v = m(row, col);
+            const Real mag = std::abs(v);
+            if (mag > kTol) {
+                if (std::abs(v - Complex(1, 0)) > kTol) {
+                    return std::nullopt;  // entry not exactly 1
+                }
+                ++ones;
+                row_of_one = row;
+            }
+        }
+        if (ones != 1 || hit[row_of_one]) {
+            return std::nullopt;
+        }
+        hit[row_of_one] = true;
+        // Column = input basis state, row = output basis state.
+        perm[col] = static_cast<Index>(row_of_one);
+    }
+    return perm;
+}
+
+}  // namespace
+
+Gate::Gate(std::string name, std::vector<int> dims, Matrix matrix) {
+    Index block = 1;
+    for (const int d : dims) {
+        if (d < 2) {
+            throw std::invalid_argument("Gate: operand dim must be >= 2");
+        }
+        block *= static_cast<Index>(d);
+    }
+    if (matrix.rows() != block || matrix.cols() != block) {
+        throw std::invalid_argument("Gate '" + name +
+                                    "': matrix size does not match dims");
+    }
+    auto p = std::make_shared<Payload>();
+    p->name = std::move(name);
+    p->dims = std::move(dims);
+    p->diagonal = matrix.is_diagonal();
+    p->perm = derive_permutation(matrix);
+    p->matrix = std::move(matrix);
+    payload_ = std::move(p);
+}
+
+Gate
+Gate::inverse() const
+{
+    const std::string base = payload_->name;
+    std::string inv_name;
+    constexpr const char* kDagger = "†";
+    if (base.size() >= 3 && base.compare(base.size() - 3, 3, kDagger) == 0) {
+        inv_name = base.substr(0, base.size() - 3);
+    } else {
+        inv_name = base + kDagger;
+    }
+    return Gate(inv_name, payload_->dims, payload_->matrix.dagger());
+}
+
+Gate
+Gate::controlled(const std::vector<int>& control_dims,
+                 const std::vector<int>& control_values) const
+{
+    if (control_dims.size() != control_values.size()) {
+        throw std::invalid_argument(
+            "Gate::controlled: dims/values size mismatch");
+    }
+    Index ctrl_block = 1;
+    for (std::size_t i = 0; i < control_dims.size(); ++i) {
+        if (control_values[i] < 0 || control_values[i] >= control_dims[i]) {
+            throw std::invalid_argument(
+                "Gate::controlled: control value out of range");
+        }
+        ctrl_block *= static_cast<Index>(control_dims[i]);
+    }
+    const Index inner = block_size();
+    const Index total = ctrl_block * inner;
+
+    // The activating control pattern as a packed index.
+    Index active = 0;
+    for (std::size_t i = 0; i < control_dims.size(); ++i) {
+        active = active * static_cast<Index>(control_dims[i]) +
+                 static_cast<Index>(control_values[i]);
+    }
+
+    Matrix m = Matrix::identity(total);
+    for (Index r = 0; r < inner; ++r) {
+        for (Index c = 0; c < inner; ++c) {
+            m(active * inner + r, active * inner + c) = payload_->matrix(r, c);
+        }
+    }
+
+    std::string name = "C";
+    for (std::size_t i = 0; i < control_values.size(); ++i) {
+        name += "[" + std::to_string(control_values[i]) + "]";
+    }
+    name += payload_->name;
+
+    std::vector<int> dims = control_dims;
+    dims.insert(dims.end(), payload_->dims.begin(), payload_->dims.end());
+    return Gate(std::move(name), std::move(dims), std::move(m));
+}
+
+Gate
+Gate::controlled(int control_dim, int control_value) const
+{
+    return controlled(std::vector<int>{control_dim},
+                      std::vector<int>{control_value});
+}
+
+}  // namespace qd

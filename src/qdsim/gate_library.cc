@@ -1,0 +1,242 @@
+#include "qdsim/gate_library.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qd::gates {
+
+namespace {
+
+Complex
+root_of_unity(int d, int power)
+{
+    const Real ang = 2 * kPi * static_cast<Real>(power) / static_cast<Real>(d);
+    return Complex(std::cos(ang), std::sin(ang));
+}
+
+}  // namespace
+
+Gate
+X()
+{
+    return Gate("X", {2}, Matrix{{0, 1}, {1, 0}});
+}
+
+Gate
+Y()
+{
+    return Gate("Y", {2},
+                Matrix{{0, Complex(0, -1)}, {Complex(0, 1), 0}});
+}
+
+Gate
+Z()
+{
+    return Gate("Z", {2}, Matrix{{1, 0}, {0, -1}});
+}
+
+Gate
+H()
+{
+    const Real s = 1.0 / std::sqrt(2.0);
+    return Gate("H", {2}, Matrix{{s, s}, {s, -s}});
+}
+
+Gate
+S()
+{
+    return Gate("S", {2}, Matrix{{1, 0}, {0, Complex(0, 1)}});
+}
+
+Gate
+T()
+{
+    return Gate("T", {2},
+                Matrix{{1, 0}, {0, std::polar(1.0, kPi / 4)}});
+}
+
+Gate
+P(Real phi)
+{
+    return Gate("P(" + std::to_string(phi) + ")", {2},
+                Matrix{{1, 0}, {0, std::polar(1.0, phi)}});
+}
+
+Gate
+RZ(Real phi)
+{
+    return Gate("RZ(" + std::to_string(phi) + ")", {2},
+                Matrix{{std::polar(1.0, -phi / 2), 0},
+                       {0, std::polar(1.0, phi / 2)}});
+}
+
+Gate
+Xpow(Real t)
+{
+    // X^t = H P(pi t) H up to global phase; build directly for clarity.
+    const Complex a = Complex(0.5, 0) *
+                      (Complex(1, 0) + std::polar(1.0, kPi * t));
+    const Complex b = Complex(0.5, 0) *
+                      (Complex(1, 0) - std::polar(1.0, kPi * t));
+    return Gate("X^" + std::to_string(t), {2}, Matrix{{a, b}, {b, a}});
+}
+
+Gate
+CNOT()
+{
+    return X().controlled(2, 1);
+}
+
+Gate
+CZ()
+{
+    return Z().controlled(2, 1);
+}
+
+Gate
+CCX()
+{
+    return X().controlled({2, 2}, {1, 1});
+}
+
+Gate
+X01()
+{
+    return swap_levels(3, 0, 1);
+}
+
+Gate
+X02()
+{
+    return swap_levels(3, 0, 2);
+}
+
+Gate
+X12()
+{
+    return swap_levels(3, 1, 2);
+}
+
+Gate
+Xplus1()
+{
+    return shift(3);
+}
+
+Gate
+Xminus1()
+{
+    return unshift(3);
+}
+
+Gate
+Z3()
+{
+    return Zd(3);
+}
+
+Gate
+H3()
+{
+    return fourier(3);
+}
+
+Gate
+shift(int d)
+{
+    Matrix m(static_cast<std::size_t>(d), static_cast<std::size_t>(d));
+    for (int c = 0; c < d; ++c) {
+        m(static_cast<std::size_t>((c + 1) % d),
+          static_cast<std::size_t>(c)) = Complex(1, 0);
+    }
+    const std::string name = d == 3 ? "X+1" : "X+1(d=" + std::to_string(d) + ")";
+    return Gate(name, {d}, std::move(m));
+}
+
+Gate
+unshift(int d)
+{
+    Matrix m(static_cast<std::size_t>(d), static_cast<std::size_t>(d));
+    for (int c = 0; c < d; ++c) {
+        m(static_cast<std::size_t>((c + d - 1) % d),
+          static_cast<std::size_t>(c)) = Complex(1, 0);
+    }
+    const std::string name = d == 3 ? "X-1" : "X-1(d=" + std::to_string(d) + ")";
+    return Gate(name, {d}, std::move(m));
+}
+
+Gate
+swap_levels(int d, int a, int b)
+{
+    if (a == b || a >= d || b >= d || a < 0 || b < 0) {
+        throw std::invalid_argument("swap_levels: bad levels");
+    }
+    Matrix m = Matrix::identity(static_cast<std::size_t>(d));
+    m(static_cast<std::size_t>(a), static_cast<std::size_t>(a)) = 0;
+    m(static_cast<std::size_t>(b), static_cast<std::size_t>(b)) = 0;
+    m(static_cast<std::size_t>(a), static_cast<std::size_t>(b)) = 1;
+    m(static_cast<std::size_t>(b), static_cast<std::size_t>(a)) = 1;
+    return Gate("X" + std::to_string(a) + std::to_string(b), {d},
+                std::move(m));
+}
+
+Gate
+phase_level(int d, int level, Real phi)
+{
+    Matrix m = Matrix::identity(static_cast<std::size_t>(d));
+    m(static_cast<std::size_t>(level), static_cast<std::size_t>(level)) =
+        std::polar(1.0, phi);
+    return Gate("P" + std::to_string(level) + "(" + std::to_string(phi) + ")",
+                {d}, std::move(m));
+}
+
+Gate
+Zd(int d)
+{
+    std::vector<Complex> diag(static_cast<std::size_t>(d));
+    for (int i = 0; i < d; ++i) {
+        diag[static_cast<std::size_t>(i)] = root_of_unity(d, i);
+    }
+    return Gate("Z" + std::to_string(d), {d}, Matrix::diagonal(diag));
+}
+
+Gate
+fourier(int d)
+{
+    Matrix m(static_cast<std::size_t>(d), static_cast<std::size_t>(d));
+    const Real s = 1.0 / std::sqrt(static_cast<Real>(d));
+    for (int r = 0; r < d; ++r) {
+        for (int c = 0; c < d; ++c) {
+            m(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) =
+                root_of_unity(d, r * c) * s;
+        }
+    }
+    return Gate("H" + std::to_string(d), {d}, std::move(m));
+}
+
+Gate
+embed(const Gate& qubit_gate, int d)
+{
+    if (qubit_gate.arity() != 1 || qubit_gate.dims()[0] != 2) {
+        throw std::invalid_argument("embed: expects a single-qubit gate");
+    }
+    if (d == 2) {
+        return qubit_gate;
+    }
+    Matrix m = Matrix::identity(static_cast<std::size_t>(d));
+    for (std::size_t r = 0; r < 2; ++r) {
+        for (std::size_t c = 0; c < 2; ++c) {
+            m(r, c) = qubit_gate.matrix()(r, c);
+        }
+    }
+    return Gate(qubit_gate.name() + "_d" + std::to_string(d), {d},
+                std::move(m));
+}
+
+Gate
+from_matrix(std::string name, std::vector<int> dims, Matrix m)
+{
+    return Gate(std::move(name), std::move(dims), std::move(m));
+}
+
+}  // namespace qd::gates

@@ -1,0 +1,88 @@
+/**
+ * @file gate_library.h
+ * Standard qubit, qutrit and generic-qudit gates (paper Section 2, Fig. 3).
+ *
+ * Naming follows the paper: ternary X gates X01/X02/X12 swap two basis
+ * levels; X+1/X-1 cycle all three levels; Z3 is the ternary phase gate
+ * diag(1, w, w^2) with w = exp(2 pi i / 3).
+ */
+#ifndef QDSIM_GATE_LIBRARY_H
+#define QDSIM_GATE_LIBRARY_H
+
+#include "qdsim/gate.h"
+
+namespace qd::gates {
+
+// ---------------------------------------------------------------- qubit ---
+
+/** Pauli X (NOT). */
+Gate X();
+/** Pauli Y. */
+Gate Y();
+/** Pauli Z. */
+Gate Z();
+/** Hadamard. */
+Gate H();
+/** Phase gate S = diag(1, i). */
+Gate S();
+/** T gate = diag(1, exp(i pi/4)). */
+Gate T();
+/** Phase gate diag(1, exp(i phi)). */
+Gate P(Real phi);
+/** Z rotation exp(-i phi Z / 2). */
+Gate RZ(Real phi);
+/** X^t: fractional NOT, t in (0,1]; X^{1/2} is the sqrt(X) gate. */
+Gate Xpow(Real t);
+
+/** CNOT = X controlled on |1>. */
+Gate CNOT();
+/** CZ = Z controlled on |1>. */
+Gate CZ();
+/** Toffoli (CCX) on qubits. */
+Gate CCX();
+
+// --------------------------------------------------------------- qutrit ---
+
+/** Swaps |0> and |1>, leaves |2>. */
+Gate X01();
+/** Swaps |0> and |2>, leaves |1>. */
+Gate X02();
+/** Swaps |1> and |2>, leaves |0>. */
+Gate X12();
+/** +1 mod 3 cycle: |0>->|1>->|2>->|0>. */
+Gate Xplus1();
+/** -1 mod 3 cycle (inverse of X+1). */
+Gate Xminus1();
+/** Ternary Z: diag(1, w, w^2), w = exp(2 pi i/3). */
+Gate Z3();
+/** Ternary Hadamard (3-point discrete Fourier transform). */
+Gate H3();
+
+// ---------------------------------------------------------------- qudit ---
+
+/** +1 mod d cycle on a d-level qudit. */
+Gate shift(int d);
+/** -1 mod d cycle on a d-level qudit. */
+Gate unshift(int d);
+/** Swaps levels a and b of a d-level qudit. */
+Gate swap_levels(int d, int a, int b);
+/** diag(..., exp(i phi) at `level`, ...) on a d-level qudit. */
+Gate phase_level(int d, int level, Real phi);
+/** Generalized Pauli Z: diag(w^0, ..., w^{d-1}), w = exp(2 pi i/d). */
+Gate Zd(int d);
+/** d-point discrete Fourier transform (generalised Hadamard). */
+Gate fourier(int d);
+
+/**
+ * Embeds a qubit gate into the {|0>,|1>} subspace of a d-level qudit,
+ * acting as identity on the remaining levels. This is how the paper applies
+ * binary logic on wires that are physically qutrits.
+ */
+Gate embed(const Gate& qubit_gate, int d);
+
+/** Gate from an explicit unitary; permutation action derived if possible. */
+Gate from_matrix(std::string name, std::vector<int> dims, Matrix m);
+
+}  // namespace qd::gates
+
+#endif  // QDSIM_GATE_LIBRARY_H

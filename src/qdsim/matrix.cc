@@ -1,0 +1,261 @@
+#include "qdsim/matrix.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace qd {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, Complex(0, 0)) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<Complex>> rows) {
+    rows_ = rows.size();
+    cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+    data_.reserve(rows_ * cols_);
+    for (const auto& row : rows) {
+        if (row.size() != cols_) {
+            throw std::invalid_argument("Matrix: ragged initializer list");
+        }
+        data_.insert(data_.end(), row.begin(), row.end());
+    }
+}
+
+Matrix
+Matrix::identity(std::size_t n)
+{
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        m(i, i) = Complex(1, 0);
+    }
+    return m;
+}
+
+Matrix
+Matrix::zero(std::size_t rows, std::size_t cols)
+{
+    return Matrix(rows, cols);
+}
+
+Matrix
+Matrix::diagonal(const std::vector<Complex>& entries)
+{
+    Matrix m(entries.size(), entries.size());
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        m(i, i) = entries[i];
+    }
+    return m;
+}
+
+Matrix
+Matrix::operator*(const Matrix& rhs) const
+{
+    if (cols_ != rhs.rows_) {
+        throw std::invalid_argument("Matrix multiply: shape mismatch");
+    }
+    Matrix out(rows_, rhs.cols_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        for (std::size_t k = 0; k < cols_; ++k) {
+            const Complex a = (*this)(i, k);
+            if (a == Complex(0, 0)) {
+                continue;
+            }
+            for (std::size_t j = 0; j < rhs.cols_; ++j) {
+                out(i, j) += a * rhs(k, j);
+            }
+        }
+    }
+    return out;
+}
+
+Matrix
+Matrix::operator+(const Matrix& rhs) const
+{
+    if (rows_ != rhs.rows_ || cols_ != rhs.cols_) {
+        throw std::invalid_argument("Matrix add: shape mismatch");
+    }
+    Matrix out(rows_, cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        out.data_[i] = data_[i] + rhs.data_[i];
+    }
+    return out;
+}
+
+Matrix
+Matrix::operator-(const Matrix& rhs) const
+{
+    if (rows_ != rhs.rows_ || cols_ != rhs.cols_) {
+        throw std::invalid_argument("Matrix subtract: shape mismatch");
+    }
+    Matrix out(rows_, cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        out.data_[i] = data_[i] - rhs.data_[i];
+    }
+    return out;
+}
+
+Matrix
+Matrix::operator*(Complex scalar) const
+{
+    Matrix out(rows_, cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        out.data_[i] = data_[i] * scalar;
+    }
+    return out;
+}
+
+Matrix
+Matrix::dagger() const
+{
+    Matrix out(cols_, rows_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        for (std::size_t j = 0; j < cols_; ++j) {
+            out(j, i) = std::conj((*this)(i, j));
+        }
+    }
+    return out;
+}
+
+Matrix
+Matrix::transpose() const
+{
+    Matrix out(cols_, rows_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        for (std::size_t j = 0; j < cols_; ++j) {
+            out(j, i) = (*this)(i, j);
+        }
+    }
+    return out;
+}
+
+Matrix
+Matrix::kron(const Matrix& rhs) const
+{
+    Matrix out(rows_ * rhs.rows_, cols_ * rhs.cols_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        for (std::size_t j = 0; j < cols_; ++j) {
+            const Complex a = (*this)(i, j);
+            if (a == Complex(0, 0)) {
+                continue;
+            }
+            for (std::size_t p = 0; p < rhs.rows_; ++p) {
+                for (std::size_t q = 0; q < rhs.cols_; ++q) {
+                    out(i * rhs.rows_ + p, j * rhs.cols_ + q) = a * rhs(p, q);
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Complex
+Matrix::trace() const
+{
+    if (rows_ != cols_) {
+        throw std::invalid_argument("Matrix trace: not square");
+    }
+    Complex t(0, 0);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        t += (*this)(i, i);
+    }
+    return t;
+}
+
+Real
+Matrix::distance(const Matrix& rhs) const
+{
+    if (rows_ != rhs.rows_ || cols_ != rhs.cols_) {
+        return std::numeric_limits<Real>::infinity();
+    }
+    Real sum = 0;
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        sum += std::norm(data_[i] - rhs.data_[i]);
+    }
+    return std::sqrt(sum);
+}
+
+bool
+Matrix::is_unitary(Real tol) const
+{
+    if (rows_ != cols_ || rows_ == 0) {
+        return false;
+    }
+    const Matrix prod = (*this) * dagger();
+    return prod.approx_equal(identity(rows_), tol * static_cast<Real>(rows_));
+}
+
+bool
+Matrix::approx_equal(const Matrix& rhs, Real tol) const
+{
+    if (rows_ != rhs.rows_ || cols_ != rhs.cols_) {
+        return false;
+    }
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        if (std::abs(data_[i] - rhs.data_[i]) > tol) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+Matrix::approx_equal_up_to_phase(const Matrix& rhs, Real tol) const
+{
+    if (rows_ != rhs.rows_ || cols_ != rhs.cols_) {
+        return false;
+    }
+    // Find the largest-magnitude entry of rhs to anchor the phase.
+    std::size_t anchor = 0;
+    Real best = -1;
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        const Real m = std::abs(rhs.data_[i]);
+        if (m > best) {
+            best = m;
+            anchor = i;
+        }
+    }
+    if (best < tol) {
+        return approx_equal(rhs, tol);
+    }
+    if (std::abs(data_[anchor]) < tol) {
+        return false;
+    }
+    const Complex phase = data_[anchor] / rhs.data_[anchor];
+    if (std::abs(std::abs(phase) - 1.0) > tol * 10) {
+        return false;
+    }
+    return approx_equal(rhs * phase, tol);
+}
+
+bool
+Matrix::is_diagonal(Real tol) const
+{
+    for (std::size_t i = 0; i < rows_; ++i) {
+        for (std::size_t j = 0; j < cols_; ++j) {
+            if (i != j && std::abs((*this)(i, j)) > tol) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+std::string
+Matrix::to_string(int precision) const
+{
+    std::string out;
+    char buf[64];
+    for (std::size_t i = 0; i < rows_; ++i) {
+        out += "[ ";
+        for (std::size_t j = 0; j < cols_; ++j) {
+            const Complex v = (*this)(i, j);
+            std::snprintf(buf, sizeof(buf), "%+.*f%+.*fi ", precision,
+                          v.real(), precision, v.imag());
+            out += buf;
+        }
+        out += "]\n";
+    }
+    return out;
+}
+
+}  // namespace qd

@@ -1,0 +1,58 @@
+#include "qdsim/moments.h"
+
+#include <algorithm>
+
+namespace qd {
+
+std::vector<Moment>
+schedule_asap(const Circuit& circuit)
+{
+    std::vector<Moment> moments;
+    std::vector<int> frontier(static_cast<std::size_t>(circuit.num_wires()),
+                              -1);
+    const auto& ops = circuit.ops();
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        int earliest = -1;
+        for (const int w : ops[i].wires) {
+            earliest =
+                std::max(earliest, frontier[static_cast<std::size_t>(w)]);
+        }
+        const int slot = earliest + 1;
+        if (static_cast<std::size_t>(slot) >= moments.size()) {
+            moments.resize(static_cast<std::size_t>(slot) + 1);
+        }
+        Moment& m = moments[static_cast<std::size_t>(slot)];
+        m.op_indices.push_back(i);
+        if (ops[i].gate.arity() >= 2) {
+            m.has_multi_qudit = true;
+        }
+        for (const int w : ops[i].wires) {
+            frontier[static_cast<std::size_t>(w)] = slot;
+        }
+    }
+    return moments;
+}
+
+int
+circuit_depth(const Circuit& circuit)
+{
+    std::vector<int> frontier(static_cast<std::size_t>(circuit.num_wires()),
+                              0);
+    for (const Operation& op : circuit.ops()) {
+        int earliest = 0;
+        for (const int w : op.wires) {
+            earliest =
+                std::max(earliest, frontier[static_cast<std::size_t>(w)]);
+        }
+        for (const int w : op.wires) {
+            frontier[static_cast<std::size_t>(w)] = earliest + 1;
+        }
+    }
+    int depth = 0;
+    for (const int f : frontier) {
+        depth = std::max(depth, f);
+    }
+    return depth;
+}
+
+}  // namespace qd

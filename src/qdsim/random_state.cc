@@ -1,0 +1,88 @@
+#include "qdsim/random_state.h"
+
+#include <cmath>
+
+namespace qd {
+
+StateVector
+haar_random_state(const WireDims& dims, Rng& rng)
+{
+    StateVector psi(dims);
+    for (Index i = 0; i < psi.size(); ++i) {
+        psi[i] = rng.complex_gaussian();
+    }
+    psi.normalize();
+    return psi;
+}
+
+StateVector
+haar_random_qubit_subspace_state(const WireDims& dims, Rng& rng)
+{
+    StateVector psi(dims);
+    psi[0] = Complex(0, 0);
+    const int n = dims.num_wires();
+    // Enumerate only indices with all digits < 2 via a binary odometer.
+    std::vector<int> digits(static_cast<std::size_t>(n), 0);
+    Index idx = 0;
+    for (;;) {
+        psi[idx] = rng.complex_gaussian();
+        // Advance binary odometer over mixed-radix strides.
+        int w = n - 1;
+        for (; w >= 0; --w) {
+            const std::size_t uw = static_cast<std::size_t>(w);
+            if (digits[uw] == 0) {
+                digits[uw] = 1;
+                idx += dims.stride(w);
+                break;
+            }
+            digits[uw] = 0;
+            idx -= dims.stride(w);
+        }
+        if (w < 0) {
+            break;
+        }
+    }
+    psi.normalize();
+    return psi;
+}
+
+Matrix
+haar_random_unitary(std::size_t n, Rng& rng)
+{
+    // QR via modified Gram-Schmidt on a Ginibre matrix; normalise the phase
+    // of each column's leading entry so R has a positive diagonal (required
+    // for Haar correctness).
+    Matrix a(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            a(i, j) = rng.complex_gaussian();
+        }
+    }
+    Matrix q(n, n);
+    for (std::size_t col = 0; col < n; ++col) {
+        std::vector<Complex> v(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            v[i] = a(i, col);
+        }
+        for (std::size_t prev = 0; prev < col; ++prev) {
+            Complex dot(0, 0);
+            for (std::size_t i = 0; i < n; ++i) {
+                dot += std::conj(q(i, prev)) * v[i];
+            }
+            for (std::size_t i = 0; i < n; ++i) {
+                v[i] -= dot * q(i, prev);
+            }
+        }
+        Real nrm = 0;
+        for (const Complex& x : v) {
+            nrm += std::norm(x);
+        }
+        nrm = std::sqrt(nrm);
+        for (std::size_t i = 0; i < n; ++i) {
+            q(i, col) = v[i] / nrm;
+        }
+    }
+    return q;
+}
+
+}  // namespace qd

@@ -1,0 +1,35 @@
+/**
+ * @file random_state.h
+ * O(d^N) Haar-random state generation (paper Section 6.2).
+ *
+ * Other libraries generate a Haar-random d^N x d^N unitary and truncate to a
+ * column; here the column is sampled directly: i.i.d. complex Gaussians
+ * followed by normalisation, which is exactly the first column of a Haar
+ * unitary in distribution.
+ */
+#ifndef QDSIM_RANDOM_STATE_H
+#define QDSIM_RANDOM_STATE_H
+
+#include "qdsim/rng.h"
+#include "qdsim/state_vector.h"
+
+namespace qd {
+
+/** Haar-random pure state over the full mixed-radix register. */
+StateVector haar_random_state(const WireDims& dims, Rng& rng);
+
+/**
+ * Haar-random state supported on the qubit subspace: amplitudes are nonzero
+ * only on basis states whose digits are all < 2. This models the paper's
+ * protocol where circuit inputs and outputs are qubits and only intermediate
+ * states occupy |2>.
+ */
+StateVector haar_random_qubit_subspace_state(const WireDims& dims, Rng& rng);
+
+/** Haar-random unitary of dimension n via QR of a complex Ginibre matrix
+ *  (test utility; used to property-test gate algebra, not in hot paths). */
+Matrix haar_random_unitary(std::size_t n, Rng& rng);
+
+}  // namespace qd
+
+#endif  // QDSIM_RANDOM_STATE_H

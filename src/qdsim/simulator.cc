@@ -1,0 +1,46 @@
+#include "qdsim/simulator.h"
+
+namespace qd {
+
+void
+apply_circuit(const Circuit& circuit, StateVector& psi)
+{
+    for (const Operation& op : circuit.ops()) {
+        psi.apply(op.gate.matrix(), op.wires);
+    }
+}
+
+StateVector
+simulate(const Circuit& circuit)
+{
+    StateVector psi(circuit.dims());
+    apply_circuit(circuit, psi);
+    return psi;
+}
+
+StateVector
+simulate(const Circuit& circuit, const StateVector& initial)
+{
+    StateVector psi = initial;
+    apply_circuit(circuit, psi);
+    return psi;
+}
+
+Matrix
+circuit_unitary(const Circuit& circuit)
+{
+    const Index n = circuit.dims().size();
+    Matrix u(n, n);
+    for (Index col = 0; col < n; ++col) {
+        StateVector psi(circuit.dims());
+        psi[0] = Complex(0, 0);
+        psi[col] = Complex(1, 0);
+        apply_circuit(circuit, psi);
+        for (Index row = 0; row < n; ++row) {
+            u(row, col) = psi[row];
+        }
+    }
+    return u;
+}
+
+}  // namespace qd

@@ -1,0 +1,32 @@
+/**
+ * @file simulator.h
+ * Ideal (noise-free) state-vector simulation and small-circuit unitary
+ * extraction.
+ */
+#ifndef QDSIM_SIMULATOR_H
+#define QDSIM_SIMULATOR_H
+
+#include "qdsim/circuit.h"
+#include "qdsim/state_vector.h"
+
+namespace qd {
+
+/** Applies every operation of the circuit to `psi` in order (in place). */
+void apply_circuit(const Circuit& circuit, StateVector& psi);
+
+/** Convenience: simulate from |0...0>. */
+StateVector simulate(const Circuit& circuit);
+
+/** Convenience: simulate from a copy of the given initial state. */
+StateVector simulate(const Circuit& circuit, const StateVector& initial);
+
+/**
+ * Full circuit unitary, built by simulating each basis column. Exponential
+ * in width; intended for verification of small circuits (width <= ~8 qubits
+ * / ~5 qutrits).
+ */
+Matrix circuit_unitary(const Circuit& circuit);
+
+}  // namespace qd
+
+#endif  // QDSIM_SIMULATOR_H

@@ -1,0 +1,33 @@
+/**
+ * @file types.h
+ * Fundamental scalar and index types shared across the qudit simulator.
+ */
+#ifndef QDSIM_TYPES_H
+#define QDSIM_TYPES_H
+
+#include <complex>
+#include <cstdint>
+
+namespace qd {
+
+/** Real scalar used throughout the library. */
+using Real = double;
+
+/** Complex amplitude type. */
+using Complex = std::complex<Real>;
+
+/** Linear index into a (possibly huge) state vector. */
+using Index = std::uint64_t;
+
+/** Default tolerance for floating-point comparisons of unitaries/states. */
+inline constexpr Real kTol = 1e-9;
+
+/** Looser tolerance for quantities accumulated over long circuits. */
+inline constexpr Real kLooseTol = 1e-7;
+
+/** pi, to full double precision. */
+inline constexpr Real kPi = 3.14159265358979323846264338327950288;
+
+}  // namespace qd
+
+#endif  // QDSIM_TYPES_H

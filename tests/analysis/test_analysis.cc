@@ -1,0 +1,107 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "analysis/fit.h"
+#include "analysis/resources.h"
+#include "analysis/table.h"
+
+namespace qd::analysis {
+namespace {
+
+TEST(Fit, LinearRecoversLine) {
+    const std::vector<Real> x = {1, 2, 3, 4, 5};
+    std::vector<Real> y;
+    for (const Real v : x) {
+        y.push_back(3.5 * v + 1.25);
+    }
+    const LinearFit f = fit_linear(x, y);
+    EXPECT_NEAR(f.slope, 3.5, 1e-9);
+    EXPECT_NEAR(f.intercept, 1.25, 1e-9);
+    EXPECT_NEAR(f.r_squared, 1.0, 1e-9);
+}
+
+TEST(Fit, ProportionalRecoversSlope) {
+    const std::vector<Real> x = {1, 2, 4, 8};
+    std::vector<Real> y;
+    for (const Real v : x) {
+        y.push_back(48.0 * v);
+    }
+    EXPECT_NEAR(fit_proportional(x, y), 48.0, 1e-9);
+}
+
+TEST(Fit, Log2CoefficientRecovers38LogN) {
+    // Shape of the paper's QUTRIT depth curve.
+    const std::vector<Real> x = {8, 16, 32, 64, 128};
+    std::vector<Real> y;
+    for (const Real v : x) {
+        y.push_back(38.0 * std::log2(v));
+    }
+    EXPECT_NEAR(fit_log2_coefficient(x, y), 38.0, 1e-9);
+}
+
+TEST(Fit, PowerLawExponents) {
+    const std::vector<Real> x = {8, 16, 32, 64, 128};
+    std::vector<Real> lin, quad, logd;
+    for (const Real v : x) {
+        lin.push_back(633 * v);
+        quad.push_back(3 * v * v);
+        logd.push_back(38 * std::log2(v));
+    }
+    EXPECT_NEAR(fit_power_law_exponent(x, lin), 1.0, 0.01);
+    EXPECT_NEAR(fit_power_law_exponent(x, quad), 2.0, 0.01);
+    EXPECT_LT(fit_power_law_exponent(x, logd), 0.5);
+}
+
+TEST(Fit, Validation) {
+    EXPECT_THROW(fit_linear({1}, {2}), std::invalid_argument);
+    EXPECT_THROW(fit_linear({1, 1}, {2, 3}), std::invalid_argument);
+    EXPECT_THROW(fit_proportional({}, {}), std::invalid_argument);
+}
+
+TEST(Resources, SweepShapes) {
+    const auto ns = std::vector<int>{32, 64, 128, 256, 512};
+    const auto qutrit = sweep_resources(ctor::Method::kQutrit, ns);
+    const auto borrow =
+        sweep_resources(ctor::Method::kQubitDirtyAncilla, ns);
+    ASSERT_EQ(qutrit.size(), 5u);
+    // Depth exponents: ~0 (log) for qutrit, ~1 for the borrowed-ancilla
+    // construction (Table 1). Small-N transients bias upward, so fit on
+    // the asymptotic tail.
+    std::vector<Real> x, dq, db;
+    for (std::size_t i = 0; i < ns.size(); ++i) {
+        x.push_back(ns[static_cast<std::size_t>(i)]);
+        dq.push_back(qutrit[i].depth);
+        db.push_back(borrow[i].depth);
+    }
+    EXPECT_LT(fit_power_law_exponent(x, dq), 0.4);
+    EXPECT_NEAR(fit_power_law_exponent(x, db), 1.0, 0.25);
+    // Ancilla accounting.
+    EXPECT_EQ(qutrit[3].ancilla, 0u);
+    EXPECT_EQ(borrow[3].ancilla, 1u);
+}
+
+TEST(Resources, FigureSweepCoversPaperRange) {
+    const auto ns = figure_sweep_ns();
+    EXPECT_GE(ns.back(), 200);
+    EXPECT_LE(ns.front(), 2);
+}
+
+TEST(Table, RendersAlignedCells) {
+    Table t({"N", "depth"});
+    t.add_row({"8", "114"});
+    t.add_row({"128", "266"});
+    const std::string s = t.render("Figure 9");
+    EXPECT_NE(s.find("Figure 9"), std::string::npos);
+    EXPECT_NE(s.find("depth"), std::string::npos);
+    EXPECT_NE(s.find("266"), std::string::npos);
+}
+
+TEST(Table, Formatters) {
+    EXPECT_EQ(fmt(1.234, 2), "1.23");
+    EXPECT_EQ(fmt_pct(0.948, 1), "94.8%");
+    EXPECT_EQ(fmt_sci(1e-3, 1), "1.0e-03");
+}
+
+}  // namespace
+}  // namespace qd::analysis

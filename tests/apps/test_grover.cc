@@ -1,0 +1,84 @@
+#include "apps/grover.h"
+
+#include <gtest/gtest.h>
+
+namespace qd::apps {
+namespace {
+
+struct GroverCase {
+    int n;
+    MczMethod method;
+};
+
+class GroverMethods : public ::testing::TestWithParam<GroverCase> {};
+
+TEST_P(GroverMethods, AmplifiesMarkedItem) {
+    const auto [n, method] = GetParam();
+    const int k = grover_optimal_iterations(n);
+    const Index marked = (Index{1} << n) - 2;  // arbitrary non-trivial item
+    const Real p = grover_success_probability(n, marked, k, method);
+    const Real analytic = grover_success_analytic(n, k);
+    EXPECT_NEAR(p, analytic, 1e-6)
+        << "n=" << n << " method=" << static_cast<int>(method);
+    EXPECT_GT(p, 0.9);
+}
+
+TEST_P(GroverMethods, MatchesAnalyticPerIteration) {
+    const auto [n, method] = GetParam();
+    const Index marked = 1;
+    for (int k = 0; k <= grover_optimal_iterations(n); ++k) {
+        EXPECT_NEAR(grover_success_probability(n, marked, k, method),
+                    grover_success_analytic(n, k), 1e-6)
+            << "k=" << k;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, GroverMethods,
+    ::testing::Values(GroverCase{2, MczMethod::kAtomic},
+                      GroverCase{3, MczMethod::kAtomic},
+                      GroverCase{3, MczMethod::kQutrit},
+                      GroverCase{3, MczMethod::kQubitNoAncilla},
+                      GroverCase{4, MczMethod::kQutrit},
+                      GroverCase{4, MczMethod::kQubitNoAncilla},
+                      GroverCase{5, MczMethod::kQutrit}),
+    [](const ::testing::TestParamInfo<GroverCase>& info) {
+        return "n" + std::to_string(info.param.n) + "_m" +
+               std::to_string(static_cast<int>(info.param.method));
+    });
+
+TEST(Grover, AllMarkedItemsWork) {
+    const int n = 3;
+    const int k = grover_optimal_iterations(n);
+    for (Index m = 0; m < 8; ++m) {
+        EXPECT_NEAR(grover_success_probability(n, m, k, MczMethod::kQutrit),
+                    grover_success_analytic(n, k), 1e-6)
+            << "marked=" << m;
+    }
+}
+
+TEST(Grover, OptimalIterationCounts) {
+    EXPECT_EQ(grover_optimal_iterations(2), 1);
+    EXPECT_EQ(grover_optimal_iterations(4), 3);
+    EXPECT_EQ(grover_optimal_iterations(8), 12);
+}
+
+TEST(Grover, QutritIterationDepthBeatsQubit) {
+    // Figure 6 / Section 5.2: the multiply-controlled gate dominates the
+    // iteration; the qutrit version has asymptotically lower depth.
+    const int n = 10;
+    const Circuit q3 = build_grover_circuit(n, 0, 1, MczMethod::kQutrit);
+    const Circuit q2 =
+        build_grover_circuit(n, 0, 1, MczMethod::kQubitNoAncilla);
+    EXPECT_LT(q3.depth(), q2.depth());
+}
+
+TEST(Grover, Validation) {
+    EXPECT_THROW(build_grover_circuit(0, 0, 1, MczMethod::kAtomic),
+                 std::invalid_argument);
+    EXPECT_THROW(build_grover_circuit(2, 4, 1, MczMethod::kAtomic),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qd::apps

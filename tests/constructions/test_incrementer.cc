@@ -1,0 +1,183 @@
+#include "constructions/incrementer.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "qdsim/classical.h"
+#include "qdsim/gate_library.h"
+#include "qdsim/simulator.h"
+
+namespace qd::ctor {
+namespace {
+
+/** +1 mod 2^N on a digit vector, wires[0] = LSB. */
+std::vector<int>
+increment_reference(const std::vector<int>& in)
+{
+    std::vector<int> out = in;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        if (out[i] == 0) {
+            out[i] = 1;
+            return out;
+        }
+        out[i] = 0;
+    }
+    return out;  // wrapped
+}
+
+class QutritIncrementerWidths : public ::testing::TestWithParam<int> {};
+
+TEST_P(QutritIncrementerWidths, ClassicalExhaustive) {
+    const int n = GetParam();
+    const Circuit c = build_qutrit_incrementer(n, IncGranularity::kThreeQutrit);
+    ASSERT_TRUE(is_classical_circuit(c));
+    const auto fail = verify_exhaustive(c, 2, increment_reference);
+    EXPECT_TRUE(fail.empty()) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Ns, QutritIncrementerWidths,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                           12),
+                         ::testing::PrintToStringParamName());
+
+class QutritIncrementerDecomposed : public ::testing::TestWithParam<int> {};
+
+TEST_P(QutritIncrementerDecomposed, StateVectorExhaustive) {
+    const int n = GetParam();
+    const Circuit c = build_qutrit_incrementer(n, IncGranularity::kTwoQutrit);
+    const WireDims& dims = c.dims();
+    for (int value = 0; value < (1 << n); ++value) {
+        std::vector<int> input(static_cast<std::size_t>(n));
+        for (int b = 0; b < n; ++b) {
+            input[static_cast<std::size_t>(b)] = (value >> b) & 1;
+        }
+        StateVector psi(dims, input);
+        apply_circuit(c, psi);
+        EXPECT_NEAR(
+            std::abs(psi[dims.pack(increment_reference(input))]), 1.0, 1e-6)
+            << "n=" << n << " value=" << value;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ns, QutritIncrementerDecomposed,
+                         ::testing::Values(1, 2, 3, 4, 5, 6),
+                         ::testing::PrintToStringParamName());
+
+TEST(QutritIncrementer, RepeatedApplicationCounts) {
+    // Applying the incrementer 2^N times walks the full cycle back to 0.
+    const int n = 4;
+    const Circuit c = build_qutrit_incrementer(n, IncGranularity::kThreeQutrit);
+    std::vector<int> state(static_cast<std::size_t>(n), 0);
+    for (int step = 1; step <= (1 << n); ++step) {
+        state = classical_run(c, state);
+        int value = 0;
+        for (int b = 0; b < n; ++b) {
+            value |= state[static_cast<std::size_t>(b)] << b;
+        }
+        EXPECT_EQ(value, step % (1 << n)) << "step " << step;
+    }
+}
+
+TEST(QutritIncrementer, Figure7GatePattern) {
+    // The N=8 instance at atomic granularity must reproduce the paper's
+    // Figure 7 layout exactly: 12 gate boxes (X+1 on wires 0,2,4,6; X01 on
+    // 1,3,5,7; X02 on 0,2,4,6) and five |2>-controls on wire a0.
+    const Circuit c = build_qutrit_incrementer(8, IncGranularity::kAtomic);
+    EXPECT_EQ(c.num_ops(), 12u);
+    std::vector<int> xplus_targets, x01_targets, x02_targets;
+    int two_controls_on_a0 = 0;
+    for (const Operation& op : c.ops()) {
+        const std::string& name = op.gate.name();
+        const int target = op.wires.back();
+        auto ends_with = [&](const char* suffix) {
+            const std::string suf(suffix);
+            return name.size() >= suf.size() &&
+                   name.compare(name.size() - suf.size(), suf.size(),
+                                suf) == 0;
+        };
+        if (ends_with("X+1")) {
+            xplus_targets.push_back(target);
+        } else if (ends_with("X01")) {
+            x01_targets.push_back(target);
+        } else if (ends_with("X02")) {
+            x02_targets.push_back(target);
+        }
+        // The |2> generate control is always emitted first.
+        if (op.gate.arity() >= 2 && op.wires[0] == 0 &&
+            name.rfind("C[2]", 0) == 0) {
+            ++two_controls_on_a0;
+        }
+    }
+    std::sort(xplus_targets.begin(), xplus_targets.end());
+    std::sort(x01_targets.begin(), x01_targets.end());
+    std::sort(x02_targets.begin(), x02_targets.end());
+    EXPECT_EQ(xplus_targets, (std::vector<int>{0, 2, 4, 6}));
+    EXPECT_EQ(x01_targets, (std::vector<int>{1, 3, 5, 7}));
+    EXPECT_EQ(x02_targets, (std::vector<int>{0, 2, 4, 6}));
+    EXPECT_EQ(two_controls_on_a0, 5);
+}
+
+TEST(QutritIncrementer, AtomicGranularityExhaustive) {
+    for (const int n : {3, 6, 9}) {
+        const Circuit c =
+            build_qutrit_incrementer(n, IncGranularity::kAtomic);
+        ASSERT_TRUE(is_classical_circuit(c));
+        const auto fail = verify_exhaustive(c, 2, increment_reference);
+        EXPECT_TRUE(fail.empty()) << "n=" << n;
+    }
+}
+
+TEST(QutritIncrementer, PolylogDepth) {
+    // Depth should grow ~log^2 N: ratios of successive deltas shrink.
+    auto depth_of = [](int n) {
+        return build_qutrit_incrementer(n, IncGranularity::kTwoQutrit).depth();
+    };
+    const int d8 = depth_of(8), d16 = depth_of(16), d32 = depth_of(32),
+              d64 = depth_of(64);
+    // Far below linear growth.
+    EXPECT_LT(d64, 8 * d8);
+    // Sub-quadratic deltas: (d64-d32)/(d32-d16) stays near
+    // log-squared growth (~(7^2-6^2)/(6^2-5^2) ~ 1.2), far from the 2x of
+    // linear scaling.
+    const double r = static_cast<double>(d64 - d32) /
+                     static_cast<double>(d32 - d16);
+    EXPECT_LT(r, 1.8);
+}
+
+TEST(QutritIncrementer, AncillaFree) {
+    EXPECT_EQ(build_qutrit_incrementer(16).num_wires(), 16);
+}
+
+class QubitStaircaseWidths : public ::testing::TestWithParam<int> {};
+
+TEST_P(QubitStaircaseWidths, StateVectorExhaustive) {
+    const int n = GetParam();
+    const Circuit c = build_qubit_staircase_incrementer(n, true);
+    const WireDims& dims = c.dims();
+    for (int value = 0; value < (1 << n); ++value) {
+        std::vector<int> input(static_cast<std::size_t>(n));
+        for (int b = 0; b < n; ++b) {
+            input[static_cast<std::size_t>(b)] = (value >> b) & 1;
+        }
+        StateVector psi(dims, input);
+        apply_circuit(c, psi);
+        EXPECT_NEAR(
+            std::abs(psi[dims.pack(increment_reference(input))]), 1.0, 1e-6)
+            << "n=" << n << " value=" << value;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ns, QubitStaircaseWidths,
+                         ::testing::Values(1, 2, 3, 4, 5, 6),
+                         ::testing::PrintToStringParamName());
+
+TEST(Incrementers, QutritBeatsQubitDepth) {
+    const int n = 16;
+    const int dq = build_qutrit_incrementer(n, IncGranularity::kTwoQutrit).depth();
+    const int db = build_qubit_staircase_incrementer(n, true).depth();
+    EXPECT_LT(dq, db);
+}
+
+}  // namespace
+}  // namespace qd::ctor

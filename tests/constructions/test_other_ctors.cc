@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "constructions/he_tree.h"
+#include "constructions/lanyon_ralph.h"
+#include "constructions/wang.h"
+#include "qdsim/classical.h"
+#include "qdsim/gate_library.h"
+#include "qdsim/simulator.h"
+
+namespace qd::ctor {
+namespace {
+
+std::vector<int>
+mct_reference(const std::vector<int>& in, int n_controls, int target)
+{
+    std::vector<int> out = in;
+    bool all = true;
+    for (int i = 0; i < n_controls; ++i) {
+        all = all && in[static_cast<std::size_t>(i)] == 1;
+    }
+    if (all) {
+        out[static_cast<std::size_t>(target)] ^= 1;
+    }
+    return out;
+}
+
+// ------------------------------------------------------------------ He ---
+
+class HeWidths : public ::testing::TestWithParam<int> {};
+
+TEST_P(HeWidths, ClassicalExhaustive) {
+    const int n = GetParam();
+    const int anc = static_cast<int>(he_tree_ancilla_count(
+        static_cast<std::size_t>(n)));
+    Circuit c(WireDims::uniform(n + 1 + anc, 2));
+    std::vector<int> controls, ancilla;
+    for (int i = 0; i < n; ++i) {
+        controls.push_back(i);
+    }
+    for (int i = 0; i < anc; ++i) {
+        ancilla.push_back(n + 1 + i);
+    }
+    append_he_tree(c, controls, n, gates::X(), ancilla,
+                   QubitDecompOptions{false});
+    // Enumerate inputs with ancilla clean (zero): the contract of He.
+    for (int mask = 0; mask < (1 << (n + 1)); ++mask) {
+        std::vector<int> in(static_cast<std::size_t>(n + 1 + anc), 0);
+        for (int b = 0; b <= n; ++b) {
+            in[static_cast<std::size_t>(b)] = (mask >> b) & 1;
+        }
+        const auto out = classical_run(c, in);
+        const auto expected = mct_reference(in, n, n);
+        EXPECT_EQ(out, expected) << "n=" << n << " mask=" << mask;
+        // Ancilla restored to zero (checked via expected == in on those).
+        for (int a = 0; a < anc; ++a) {
+            EXPECT_EQ(out[static_cast<std::size_t>(n + 1 + a)], 0);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ns, HeWidths, ::testing::Values(1, 2, 3, 4, 5, 6, 7),
+                         ::testing::PrintToStringParamName());
+
+TEST(HeTree, LogDepth) {
+    auto depth_of = [](int n) {
+        const int anc = static_cast<int>(he_tree_ancilla_count(
+            static_cast<std::size_t>(n)));
+        Circuit c(WireDims::uniform(n + 1 + anc, 2));
+        std::vector<int> controls, ancilla;
+        for (int i = 0; i < n; ++i) {
+            controls.push_back(i);
+        }
+        for (int i = 0; i < anc; ++i) {
+            ancilla.push_back(n + 1 + i);
+        }
+        append_he_tree(c, controls, n, gates::X(), ancilla,
+                       QubitDecompOptions{false});
+        return c.depth();
+    };
+    EXPECT_LE(depth_of(64) - depth_of(32), depth_of(32) - depth_of(16) + 1);
+    EXPECT_LE(depth_of(64), 2 * 7 + 1);
+}
+
+TEST(HeTree, ThrowsWithoutAncilla) {
+    Circuit c(WireDims::uniform(5, 2));
+    EXPECT_THROW(append_he_tree(c, {0, 1, 2}, 3, gates::X(), {4},
+                                QubitDecompOptions{false}),
+                 std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- Wang ---
+
+class WangWidths : public ::testing::TestWithParam<int> {};
+
+TEST_P(WangWidths, ClassicalExhaustive) {
+    const int n = GetParam();
+    Circuit c(WireDims::uniform(n + 1, 3));
+    std::vector<int> controls;
+    for (int i = 0; i < n; ++i) {
+        controls.push_back(i);
+    }
+    append_wang_ladder(c, controls, n, gates::embed(gates::X(), 3));
+    const auto fail = verify_exhaustive(c, 2, [&](const std::vector<int>& in) {
+        return mct_reference(in, n, n);
+    });
+    EXPECT_TRUE(fail.empty()) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Ns, WangWidths,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10),
+                         ::testing::PrintToStringParamName());
+
+TEST(Wang, LinearDepthAndCount) {
+    const int n = 40;
+    Circuit c(WireDims::uniform(n + 1, 3));
+    std::vector<int> controls;
+    for (int i = 0; i < n; ++i) {
+        controls.push_back(i);
+    }
+    append_wang_ladder(c, controls, n, gates::embed(gates::X(), 3));
+    EXPECT_EQ(c.num_ops(), static_cast<std::size_t>(2 * (n - 1) + 1));
+    EXPECT_EQ(c.depth(), 2 * (n - 1) + 1);  // inherently serial
+}
+
+TEST(Wang, RejectsQubitControls) {
+    Circuit c(WireDims({2, 3, 3}));
+    EXPECT_THROW(append_wang_ladder(c, {0, 1}, 2,
+                                    gates::embed(gates::X(), 3)),
+                 std::invalid_argument);
+}
+
+// -------------------------------------------------------- Lanyon/Ralph ---
+
+class LanyonWidths : public ::testing::TestWithParam<int> {};
+
+TEST_P(LanyonWidths, ClassicalExhaustive) {
+    const int n = GetParam();
+    std::vector<int> dims(static_cast<std::size_t>(n) + 1, 2);
+    dims[static_cast<std::size_t>(n)] = lanyon_ralph_target_dim(
+        static_cast<std::size_t>(n));
+    Circuit c((WireDims(dims)));
+    std::vector<int> controls;
+    for (int i = 0; i < n; ++i) {
+        controls.push_back(i);
+    }
+    append_lanyon_ralph(c, controls, n);
+    const auto fail = verify_exhaustive(c, 2, [&](const std::vector<int>& in) {
+        return mct_reference(in, n, n);
+    });
+    EXPECT_TRUE(fail.empty()) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Ns, LanyonWidths,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8),
+                         ::testing::PrintToStringParamName());
+
+TEST(LanyonRalph, TargetDimRequirement) {
+    EXPECT_EQ(lanyon_ralph_target_dim(13), 29);
+    Circuit c(WireDims({2, 2, 3}));  // target too small for 2 controls
+    EXPECT_THROW(append_lanyon_ralph(c, {0, 1}, 2), std::invalid_argument);
+}
+
+TEST(LanyonRalph, LinearGateCount) {
+    const int n = 20;
+    std::vector<int> dims(static_cast<std::size_t>(n) + 1, 2);
+    dims[static_cast<std::size_t>(n)] = lanyon_ralph_target_dim(
+        static_cast<std::size_t>(n));
+    Circuit c((WireDims(dims)));
+    std::vector<int> controls;
+    for (int i = 0; i < n; ++i) {
+        controls.push_back(i);
+    }
+    append_lanyon_ralph(c, controls, n);
+    EXPECT_EQ(c.num_ops(), static_cast<std::size_t>(2 * n + 3));
+}
+
+}  // namespace
+}  // namespace qd::ctor

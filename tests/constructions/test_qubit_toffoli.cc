@@ -1,0 +1,232 @@
+#include "constructions/qubit_toffoli.h"
+
+#include <gtest/gtest.h>
+
+#include "qdsim/classical.h"
+#include "qdsim/gate_library.h"
+#include "qdsim/random_state.h"
+#include "qdsim/simulator.h"
+
+namespace qd::ctor {
+namespace {
+
+/** Checks that `c` implements target ^= AND(controls) on every classical
+ *  input (including arbitrary dirty borrow values), via state vectors so
+ *  non-permutation gates (T, CV) are covered. Verifies global-phase
+ *  consistency across inputs. */
+void
+expect_mcx_semantics(const Circuit& c, const std::vector<int>& controls,
+                     int target)
+{
+    const WireDims& dims = c.dims();
+    Complex phase(0, 0);
+    for (Index idx = 0; idx < dims.size(); ++idx) {
+        const std::vector<int> input = dims.unpack(idx);
+        StateVector psi(dims, input);
+        apply_circuit(c, psi);
+        std::vector<int> expected = input;
+        bool all = true;
+        for (const int cw : controls) {
+            all = all && input[static_cast<std::size_t>(cw)] == 1;
+        }
+        if (all) {
+            expected[static_cast<std::size_t>(target)] ^= 1;
+        }
+        const Complex amp = psi[dims.pack(expected)];
+        ASSERT_NEAR(std::abs(amp), 1.0, 1e-6)
+            << "input index " << idx << ": output is not the expected "
+            << "basis state";
+        if (std::abs(phase) < 0.5) {
+            phase = amp;
+        } else {
+            ASSERT_NEAR(std::abs(amp - phase), 0.0, 1e-6)
+                << "input index " << idx << ": borrow-dependent phase";
+        }
+    }
+}
+
+TEST(ToffoliNetwork, MatchesCCX) {
+    Circuit c(WireDims::uniform(3, 2));
+    append_toffoli_network(c, 0, 1, 2);
+    const Matrix u = circuit_unitary(c);
+    EXPECT_TRUE(u.approx_equal_up_to_phase(gates::CCX().matrix(), 1e-8))
+        << u.to_string();
+    EXPECT_EQ(c.two_qudit_count(), 6u);
+}
+
+class VChainWidths : public ::testing::TestWithParam<int> {};
+
+TEST_P(VChainWidths, ClassicalExhaustiveWithDirtyBorrows) {
+    const int k = GetParam();
+    // Wires: k controls, k-2 borrows, 1 target.
+    const int width = 2 * k - 1;
+    Circuit c(WireDims::uniform(width, 2));
+    std::vector<int> controls, borrows;
+    for (int i = 0; i < k; ++i) {
+        controls.push_back(i);
+    }
+    for (int i = k; i < 2 * k - 2; ++i) {
+        borrows.push_back(i);
+    }
+    const int target = width - 1;
+    append_mcx_vchain(c, controls, target, borrows,
+                      QubitDecompOptions{/*decompose_toffoli=*/false});
+    ASSERT_TRUE(is_classical_circuit(c));
+    const auto fail = verify_exhaustive(c, 2, [&](const std::vector<int>& in) {
+        std::vector<int> out = in;
+        bool all = true;
+        for (const int cw : controls) {
+            all = all && in[static_cast<std::size_t>(cw)] == 1;
+        }
+        if (all) {
+            out[static_cast<std::size_t>(target)] ^= 1;
+        }
+        return out;
+    });
+    EXPECT_TRUE(fail.empty()) << "k=" << k;
+    // Barenco Lemma 7.2 cost: 4(k-2) Toffolis.
+    EXPECT_EQ(c.num_ops(), static_cast<std::size_t>(4 * (k - 2)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, VChainWidths, ::testing::Values(3, 4, 5, 6, 7),
+                         ::testing::PrintToStringParamName());
+
+TEST(VChain, DecomposedSmall) {
+    const int k = 4;
+    Circuit c(WireDims::uniform(2 * k - 1, 2));
+    std::vector<int> controls = {0, 1, 2, 3}, borrows = {4, 5};
+    append_mcx_vchain(c, controls, 6, borrows, QubitDecompOptions{true});
+    expect_mcx_semantics(c, controls, 6);
+}
+
+TEST(VChain, ThrowsWithoutEnoughBorrows) {
+    Circuit c(WireDims::uniform(5, 2));
+    EXPECT_THROW(append_mcx_vchain(c, {0, 1, 2, 3}, 4, {},
+                                   QubitDecompOptions{false}),
+                 std::invalid_argument);
+}
+
+class SingleBorrowWidths : public ::testing::TestWithParam<int> {};
+
+TEST_P(SingleBorrowWidths, ClassicalExhaustive) {
+    const int k = GetParam();
+    // Wires: k controls, target, borrow.
+    Circuit c(WireDims::uniform(k + 2, 2));
+    std::vector<int> controls;
+    for (int i = 0; i < k; ++i) {
+        controls.push_back(i);
+    }
+    append_mcx_single_borrow(c, controls, k, k + 1,
+                             QubitDecompOptions{false});
+    ASSERT_TRUE(is_classical_circuit(c));
+    const auto fail = verify_exhaustive(c, 2, [&](const std::vector<int>& in) {
+        std::vector<int> out = in;
+        bool all = true;
+        for (int i = 0; i < k; ++i) {
+            all = all && in[static_cast<std::size_t>(i)] == 1;
+        }
+        if (all) {
+            out[static_cast<std::size_t>(k)] ^= 1;
+        }
+        return out;
+    });
+    EXPECT_TRUE(fail.empty()) << "k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, SingleBorrowWidths,
+                         ::testing::Values(3, 4, 5, 6, 7, 8, 9),
+                         ::testing::PrintToStringParamName());
+
+TEST(SingleBorrow, LinearCostScaling) {
+    // ~8N Toffolis -> ~48N two-qubit gates after decomposition.
+    auto cost = [](int k) {
+        Circuit c(WireDims::uniform(k + 2, 2));
+        std::vector<int> controls;
+        for (int i = 0; i < k; ++i) {
+            controls.push_back(i);
+        }
+        append_mcx_single_borrow(c, controls, k, k + 1,
+                                 QubitDecompOptions{true});
+        return c.two_qudit_count();
+    };
+    const double c32 = static_cast<double>(cost(32));
+    const double c64 = static_cast<double>(cost(64));
+    EXPECT_NEAR(c64 / c32, 2.0, 0.25);        // linear
+    EXPECT_NEAR(c64 / 64.0, 48.0, 10.0);       // ~48N (paper Figure 10)
+}
+
+class NoAncillaWidths : public ::testing::TestWithParam<int> {};
+
+TEST_P(NoAncillaWidths, StateVectorExhaustive) {
+    const int k = GetParam();
+    Circuit c(WireDims::uniform(k + 1, 2));
+    std::vector<int> controls;
+    for (int i = 0; i < k; ++i) {
+        controls.push_back(i);
+    }
+    append_mcu_no_ancilla(c, controls, k, gates::X(),
+                          QubitDecompOptions{true});
+    expect_mcx_semantics(c, controls, k);
+    EXPECT_EQ(c.num_wires(), k + 1);  // truly ancilla-free
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, NoAncillaWidths, ::testing::Values(1, 2, 3, 4,
+                                                                5, 6),
+                         ::testing::PrintToStringParamName());
+
+TEST(NoAncilla, MultiControlledZ) {
+    const int k = 3;
+    Circuit c(WireDims::uniform(k + 1, 2));
+    append_mcu_no_ancilla(c, {0, 1, 2}, 3, gates::Z(),
+                          QubitDecompOptions{true});
+    const Matrix u = circuit_unitary(c);
+    Matrix expected = Matrix::identity(16);
+    expected(15, 15) = Complex(-1, 0);
+    EXPECT_TRUE(u.approx_equal_up_to_phase(expected, 1e-7))
+        << u.to_string();
+}
+
+TEST(NoAncilla, UsesSmallAngleGates) {
+    // The recursion introduces X^{1/2^k} controlled gates (the paper notes
+    // Gidney's ancilla-free circuit "requires rotation gates for very small
+    // angles").
+    Circuit c(WireDims::uniform(8, 2));
+    append_mcu_no_ancilla(c, {0, 1, 2, 3, 4, 5, 6}, 7, gates::X(),
+                          QubitDecompOptions{true});
+    bool found_small_angle = false;
+    for (const Operation& op : c.ops()) {
+        if (op.gate.name().find("^1/2^1/2^1/2") != std::string::npos) {
+            found_small_angle = true;
+            break;
+        }
+    }
+    EXPECT_TRUE(found_small_angle);
+}
+
+TEST(NoAncilla, QuadraticScaling) {
+    auto cost = [](int k) {
+        Circuit c(WireDims::uniform(k + 1, 2));
+        std::vector<int> controls;
+        for (int i = 0; i < k; ++i) {
+            controls.push_back(i);
+        }
+        append_mcu_no_ancilla(c, controls, k, gates::X(),
+                              QubitDecompOptions{true});
+        return static_cast<double>(c.two_qudit_count());
+    };
+    const double c16 = cost(16), c32 = cost(32);
+    const double ratio = c32 / c16;
+    EXPECT_GT(ratio, 2.5);  // superlinear
+    EXPECT_LT(ratio, 6.0);  // roughly quadratic (borrow-pool transition
+                            // keeps it slightly above 4x at small N)
+}
+
+TEST(Toffoli, NativeGateOption) {
+    Circuit c(WireDims::uniform(3, 2));
+    append_toffoli(c, 0, 1, 2, QubitDecompOptions{false});
+    ASSERT_EQ(c.num_ops(), 1u);
+    EXPECT_EQ(c.ops()[0].gate.arity(), 3);
+}
+
+}  // namespace
+}  // namespace qd::ctor

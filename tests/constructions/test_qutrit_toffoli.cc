@@ -1,0 +1,277 @@
+#include "constructions/qutrit_toffoli.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "qdsim/classical.h"
+#include "qdsim/gate_library.h"
+#include "qdsim/random_state.h"
+#include "qdsim/simulator.h"
+
+namespace qd::ctor {
+namespace {
+
+/** Builds the N-controlled-X tree circuit on N+1 qutrit wires. */
+Circuit
+tree_mcx(int n_controls, bool decompose)
+{
+    Circuit c(WireDims::uniform(n_controls + 1, 3));
+    std::vector<ControlSpec> specs;
+    for (int i = 0; i < n_controls; ++i) {
+        specs.push_back(on1(i));
+    }
+    append_qutrit_tree_toffoli(c, specs, n_controls,
+                               gates::embed(gates::X(), 3),
+                               QutritTreeOptions{decompose});
+    return c;
+}
+
+/** Reference: logical multi-controlled NOT on binary digit vectors. */
+std::vector<int>
+mct_reference(const std::vector<int>& in)
+{
+    std::vector<int> out = in;
+    bool all = true;
+    for (std::size_t i = 0; i + 1 < in.size(); ++i) {
+        all = all && in[i] == 1;
+    }
+    if (all) {
+        out.back() ^= 1;
+    }
+    return out;
+}
+
+// ---- Classical exhaustive verification (three-qutrit granularity) --------
+// Mirrors the paper's verification of "all possible classical inputs across
+// circuit sizes up to widths of 14".
+
+class TreeClassicalExhaustive : public ::testing::TestWithParam<int> {};
+
+TEST_P(TreeClassicalExhaustive, MatchesGeneralizedToffoli) {
+    const int n = GetParam();
+    const Circuit c = tree_mcx(n, /*decompose=*/false);
+    EXPECT_TRUE(is_classical_circuit(c));
+    const auto fail = verify_exhaustive(c, 2, mct_reference);
+    EXPECT_TRUE(fail.empty()) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, TreeClassicalExhaustive,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                           12, 13),
+                         ::testing::PrintToStringParamName());
+
+// ---- State-vector verification of the decomposed circuit ----------------
+
+class TreeDecomposedStateVector : public ::testing::TestWithParam<int> {};
+
+TEST_P(TreeDecomposedStateVector, BasisInputsWithConsistentPhase) {
+    const int n = GetParam();
+    const Circuit c = tree_mcx(n, /*decompose=*/true);
+    const WireDims& dims = c.dims();
+    Complex phase(0, 0);
+    std::vector<int> input(static_cast<std::size_t>(n) + 1, 0);
+    for (;;) {
+        StateVector psi(dims, input);
+        apply_circuit(c, psi);
+        const std::vector<int> expected = mct_reference(input);
+        const Complex amp = psi[dims.pack(expected)];
+        ASSERT_NEAR(std::abs(amp), 1.0, 1e-7)
+            << "n=" << n << ": output not a basis state";
+        if (std::abs(phase) < 0.5) {
+            phase = amp;
+        } else {
+            ASSERT_NEAR(std::abs(amp - phase), 0.0, 1e-6)
+                << "n=" << n << ": inconsistent global phase";
+        }
+        int w = n;
+        for (; w >= 0; --w) {
+            auto& d = input[static_cast<std::size_t>(w)];
+            if (++d < 2) {
+                break;
+            }
+            d = 0;
+        }
+        if (w < 0) {
+            break;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, TreeDecomposedStateVector,
+                         ::testing::Values(1, 2, 3, 4, 5, 6),
+                         ::testing::PrintToStringParamName());
+
+TEST(QutritTree, DecomposedMatchesDirectOnRandomState) {
+    for (const int n : {4, 7}) {
+        Rng rng(500 + n);
+        const Circuit direct = tree_mcx(n, false);
+        const Circuit decomposed = tree_mcx(n, true);
+        const StateVector init =
+            haar_random_state(direct.dims(), rng);
+        const StateVector a = simulate(direct, init);
+        const StateVector b = simulate(decomposed, init);
+        EXPECT_NEAR(a.fidelity(b), 1.0, 1e-8) << "n=" << n;
+    }
+}
+
+TEST(QutritTree, MatchesPaperFigure4ForTwoControls) {
+    // Two controls: exactly 3 two-qutrit gates, the paper's Toffoli.
+    const Circuit c = tree_mcx(2, true);
+    ASSERT_EQ(c.num_ops(), 3u);
+    EXPECT_EQ(c.ops()[0].gate.name(), "C[1]X+1");
+    EXPECT_EQ(c.ops()[1].gate.name(), "C[2]X_d3");
+    EXPECT_EQ(c.ops()[2].gate.name(), "C[1]X-1");
+}
+
+TEST(QutritTree, Figure5StructureFor15Controls) {
+    // 15 controls: the compute half at three-qutrit granularity is a
+    // perfect binary tree with 7 CC gates + the root-controlled target.
+    const Circuit c = tree_mcx(15, false);
+    // ops: 7 tree + 1 target + 7 uncompute = 15.
+    ASSERT_EQ(c.num_ops(), 15u);
+    // The root gate acts on q7 -> target 15 controlled q7@2.
+    const Operation& final_op = c.ops()[7];
+    EXPECT_EQ(final_op.wires, (std::vector<int>{7, 15}));
+    // Root property (paper 4.2): q7 reaches |2> iff all controls are |1>.
+    Circuit compute_half(c.dims());
+    for (std::size_t i = 0; i < 7; ++i) {
+        compute_half.append(c.ops()[i].gate, c.ops()[i].wires);
+    }
+    std::vector<int> all_ones(16, 1);
+    all_ones[15] = 0;
+    auto out = classical_run(compute_half, all_ones);
+    EXPECT_EQ(out[7], 2);
+    // Any dropped control keeps the root out of |2>.
+    for (int drop = 0; drop < 15; ++drop) {
+        std::vector<int> input = all_ones;
+        input[static_cast<std::size_t>(drop)] = 0;
+        out = classical_run(compute_half, input);
+        EXPECT_NE(out[7], 2) << "drop=" << drop;
+    }
+}
+
+TEST(QutritTree, AncillaFreeWidth) {
+    // The construction must fit on exactly N+1 wires (frontier zone).
+    const Circuit c = tree_mcx(13, true);
+    EXPECT_EQ(c.num_wires(), 14);
+}
+
+TEST(QutritTree, LogarithmicDepthGrowth) {
+    // Depth should grow ~ log2(N): doubling N adds a constant.
+    const int d16 = tree_mcx(16, true).depth();
+    const int d32 = tree_mcx(32, true).depth();
+    const int d64 = tree_mcx(64, true).depth();
+    const int d128 = tree_mcx(128, true).depth();
+    const int delta1 = d32 - d16;
+    const int delta2 = d64 - d32;
+    const int delta3 = d128 - d64;
+    EXPECT_GT(delta1, 0);
+    // Increments stay bounded (logarithmic, not linear).
+    EXPECT_LE(std::abs(delta2 - delta1), delta1);
+    EXPECT_LE(std::abs(delta3 - delta2), delta1);
+    EXPECT_LT(d128, 40 * 8);  // well under the paper's 38*log2(128)+slack
+}
+
+TEST(QutritTree, LinearGateCount) {
+    // Two-qudit gates ~ 7N (paper: 6N with the Di&Wei decomposition).
+    const std::size_t g64 = tree_mcx(64, true).two_qudit_count();
+    const std::size_t g128 = tree_mcx(128, true).two_qudit_count();
+    EXPECT_NEAR(static_cast<double>(g128) / static_cast<double>(g64), 2.0,
+                0.2);
+    EXPECT_LT(g128, 8.0 * 128);
+    EXPECT_GT(g128, 5.0 * 128);
+}
+
+TEST(QutritTree, ZeroAndTwoValuedControls) {
+    // Mixed activation values: on0/on2 controls (incrementer requirement).
+    const WireDims dims = WireDims::uniform(4, 3);
+    for (const bool decompose : {false, true}) {
+        Circuit c(dims);
+        append_qutrit_tree_toffoli(
+            c, {on2(0), on1(1), on0(2)}, 3, gates::X01(),
+            QutritTreeOptions{decompose});
+        // Expect X01 on wire 3 iff (w0==2, w1==1, w2==0).
+        for (int a = 0; a < 3; ++a) {
+            for (int b = 0; b < 2; ++b) {
+                for (int d = 0; d < 2; ++d) {
+                    for (int t = 0; t < 2; ++t) {
+                        StateVector psi(dims, {a, b, d, t});
+                        apply_circuit(c, psi);
+                        std::vector<int> expected = {a, b, d, t};
+                        if (a == 2 && b == 1 && d == 0) {
+                            expected[3] ^= 1;
+                        }
+                        EXPECT_NEAR(
+                            std::abs(psi[dims.pack(expected)]), 1.0, 1e-8)
+                            << "decompose=" << decompose << " input " << a
+                            << b << d << t;
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(QutritTree, AllTwoValuedControls) {
+    const WireDims dims = WireDims::uniform(4, 3);
+    Circuit c(dims);
+    append_qutrit_tree_toffoli(c, {on2(0), on2(1), on2(2)}, 3, gates::X01(),
+                               QutritTreeOptions{false});
+    std::vector<int> in = {2, 2, 2, 0};
+    EXPECT_EQ(classical_run(c, in)[3], 1);
+    in = {2, 1, 2, 0};
+    EXPECT_EQ(classical_run(c, in)[3], 0);
+    // Controls restored.
+    in = {2, 2, 2, 0};
+    const auto out = classical_run(c, in);
+    EXPECT_EQ(out[0], 2);
+    EXPECT_EQ(out[1], 2);
+    EXPECT_EQ(out[2], 2);
+}
+
+TEST(QutritTree, ArbitraryTargetGate) {
+    // Multiply-controlled Z (Grover's diffusion gate).
+    const int n = 4;
+    Circuit c(WireDims::uniform(n + 1, 3));
+    std::vector<ControlSpec> specs;
+    for (int i = 0; i < n; ++i) {
+        specs.push_back(on1(i));
+    }
+    append_qutrit_tree_toffoli(c, specs, n, gates::embed(gates::Z(), 3),
+                               QutritTreeOptions{true});
+    const WireDims& dims = c.dims();
+    // |11110> -> ... |11111> picks up a sign; others don't.
+    StateVector plus(dims, std::vector<int>{1, 1, 1, 1, 0});
+    StateVector minus(dims, std::vector<int>{1, 1, 1, 1, 1});
+    StateVector off(dims, std::vector<int>{1, 0, 1, 1, 1});
+    const StateVector p2 = simulate(c, plus);
+    const StateVector m2 = simulate(c, minus);
+    const StateVector o2 = simulate(c, off);
+    EXPECT_NEAR(std::abs(p2.inner(plus) - Complex(1, 0)), 0.0, 1e-7);
+    EXPECT_NEAR(std::abs(m2.inner(minus) + Complex(1, 0)), 0.0, 1e-7);
+    EXPECT_NEAR(std::abs(o2.inner(off) - Complex(1, 0)), 0.0, 1e-7);
+}
+
+TEST(QutritTree, InputValidation) {
+    Circuit c(WireDims::uniform(3, 3));
+    EXPECT_THROW(append_qutrit_tree_toffoli(c, {on1(0), on1(0)}, 2,
+                                            gates::X01(), {}),
+                 std::invalid_argument);
+    EXPECT_THROW(append_qutrit_tree_toffoli(c, {on1(0), on1(2)}, 2,
+                                            gates::X01(), {}),
+                 std::invalid_argument);
+    Circuit mixed(WireDims({3, 2, 3}));
+    EXPECT_THROW(append_qutrit_tree_toffoli(mixed, {on1(0), on1(1)}, 2,
+                                            gates::X01(), {}),
+                 std::invalid_argument);
+}
+
+TEST(QutritTree, NoControlsAppliesGate) {
+    Circuit c(WireDims::uniform(1, 3));
+    append_qutrit_tree_toffoli(c, {}, 0, gates::X01(), {});
+    EXPECT_EQ(classical_run(c, {0})[0], 1);
+}
+
+}  // namespace
+}  // namespace qd::ctor

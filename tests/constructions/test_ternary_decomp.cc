@@ -1,0 +1,120 @@
+#include "constructions/ternary_decomp.h"
+
+#include <gtest/gtest.h>
+
+#include "qdsim/classical.h"
+#include "qdsim/gate_library.h"
+#include "qdsim/random_state.h"
+#include "qdsim/simulator.h"
+
+namespace qd::ctor {
+namespace {
+
+/** Builds the decomposed and direct CC(va,vb)-U circuits and compares
+ *  unitaries exactly (not just up to phase: controls must be untouched). */
+void
+expect_decomposition_exact(int va, int vb, const Gate& u, int target_dim)
+{
+    const WireDims dims({3, 3, target_dim});
+    Circuit direct(dims), decomposed(dims);
+    append_cc_u(direct, {0, va}, {1, vb}, 2, u, /*decompose=*/false);
+    append_cc_u(decomposed, {0, va}, {1, vb}, 2, u, /*decompose=*/true);
+    const Matrix ud = circuit_unitary(direct);
+    const Matrix ue = circuit_unitary(decomposed);
+    EXPECT_LT(ud.distance(ue), 1e-8)
+        << "va=" << va << " vb=" << vb << " u=" << u.name();
+}
+
+struct CcCase {
+    int va;
+    int vb;
+};
+
+class AllControlValues : public ::testing::TestWithParam<CcCase> {};
+
+TEST_P(AllControlValues, Xplus1Target) {
+    expect_decomposition_exact(GetParam().va, GetParam().vb,
+                               gates::Xplus1(), 3);
+}
+
+TEST_P(AllControlValues, Xminus1Target) {
+    expect_decomposition_exact(GetParam().va, GetParam().vb,
+                               gates::Xminus1(), 3);
+}
+
+TEST_P(AllControlValues, X01Target) {
+    expect_decomposition_exact(GetParam().va, GetParam().vb, gates::X01(), 3);
+}
+
+TEST_P(AllControlValues, EmbeddedXTarget) {
+    expect_decomposition_exact(GetParam().va, GetParam().vb,
+                               gates::embed(gates::X(), 3), 3);
+}
+
+TEST_P(AllControlValues, EmbeddedZTarget) {
+    expect_decomposition_exact(GetParam().va, GetParam().vb,
+                               gates::embed(gates::Z(), 3), 3);
+}
+
+TEST_P(AllControlValues, QubitTargetX) {
+    expect_decomposition_exact(GetParam().va, GetParam().vb, gates::X(), 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ControlValueSweep, AllControlValues,
+    ::testing::Values(CcCase{0, 0}, CcCase{0, 1}, CcCase{0, 2}, CcCase{1, 0},
+                      CcCase{1, 1}, CcCase{1, 2}, CcCase{2, 0}, CcCase{2, 1},
+                      CcCase{2, 2}),
+    [](const ::testing::TestParamInfo<CcCase>& info) {
+        return "va" + std::to_string(info.param.va) + "_vb" +
+               std::to_string(info.param.vb);
+    });
+
+TEST(TernaryDecomp, RandomTargets) {
+    Rng rng(321);
+    for (int trial = 0; trial < 10; ++trial) {
+        const Gate u = gates::from_matrix("U", {3},
+                                          haar_random_unitary(3, rng));
+        expect_decomposition_exact(1, 2, u, 3);
+    }
+}
+
+TEST(TernaryDecomp, EmitsSevenTwoQutritGates) {
+    Circuit c(WireDims::uniform(3, 3));
+    append_cc_u(c, {0, 1}, {1, 2}, 2, gates::Xplus1(), /*decompose=*/true);
+    EXPECT_EQ(c.num_ops(), static_cast<std::size_t>(kTwoQuditGatesPerCC));
+    for (const Operation& op : c.ops()) {
+        EXPECT_EQ(op.gate.arity(), 2);
+    }
+}
+
+TEST(TernaryDecomp, DirectGateIsPermutationForClassicalTargets) {
+    Circuit c(WireDims::uniform(3, 3));
+    append_cc_u(c, {0, 1}, {1, 1}, 2, gates::Xplus1(), /*decompose=*/false);
+    ASSERT_EQ(c.num_ops(), 1u);
+    EXPECT_TRUE(c.ops()[0].gate.is_permutation());
+}
+
+TEST(TernaryDecomp, ControlledURespectsActivationValue) {
+    Circuit c(WireDims::uniform(2, 3));
+    append_controlled_u(c, {0, 2}, 1, gates::X01());
+    // |2,0> -> |2,1>; |1,0> unchanged.
+    EXPECT_EQ(classical_run(c, {2, 0}), (std::vector<int>{2, 1}));
+    EXPECT_EQ(classical_run(c, {1, 0}), (std::vector<int>{1, 0}));
+}
+
+TEST(TernaryDecomp, RejectsQubitSecondControlWhenDecomposing) {
+    Circuit c(WireDims({3, 2, 3}));
+    EXPECT_THROW(
+        append_cc_u(c, {0, 1}, {1, 1}, 2, gates::Xplus1(), true),
+        std::invalid_argument);
+}
+
+TEST(TernaryDecomp, RejectsDuplicateControls) {
+    Circuit c(WireDims::uniform(3, 3));
+    EXPECT_THROW(append_cc_u(c, {0, 1}, {0, 2}, 2, gates::Xplus1(), true),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qd::ctor

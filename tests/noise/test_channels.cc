@@ -1,0 +1,99 @@
+#include "noise/channels.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace qd::noise {
+namespace {
+
+TEST(ChannelCounts, MatchPaperSection71) {
+    // "For d = 2, there are 4 single-qubit gate error channels and 16
+    //  two-qubit gate error channels. For d = 3 there are 9 and 81."
+    // (counts include the identity; we store the non-identity ones)
+    EXPECT_EQ(depolarizing1_channel_count(2), 3);
+    EXPECT_EQ(depolarizing1_channel_count(3), 8);
+    EXPECT_EQ(depolarizing2_channel_count(2, 2), 15);
+    EXPECT_EQ(depolarizing2_channel_count(3, 3), 80);
+}
+
+TEST(Depolarizing1, QubitChannelStructure) {
+    const auto ch = depolarizing1(2, 0.01);
+    ASSERT_EQ(ch.unitaries.size(), 3u);
+    EXPECT_NEAR(ch.identity_prob(), 1 - 3 * 0.01, 1e-12);
+    for (const Matrix& u : ch.unitaries) {
+        EXPECT_TRUE(u.is_unitary());
+    }
+}
+
+TEST(Depolarizing1, QutritChannelStructure) {
+    const auto ch = depolarizing1(3, 0.001);
+    ASSERT_EQ(ch.unitaries.size(), 8u);
+    EXPECT_NEAR(ch.identity_prob(), 1 - 8 * 0.001, 1e-12);
+    for (const Matrix& u : ch.unitaries) {
+        EXPECT_TRUE(u.is_unitary());
+    }
+}
+
+TEST(Depolarizing2, QutritPairChannelStructure) {
+    const auto ch = depolarizing2(3, 3, 1e-4);
+    ASSERT_EQ(ch.unitaries.size(), 80u);
+    for (const Matrix& u : ch.unitaries) {
+        EXPECT_TRUE(u.is_unitary());
+        EXPECT_EQ(u.rows(), 9u);
+    }
+}
+
+TEST(Depolarizing2, MixedRadixPair) {
+    const auto ch = depolarizing2(2, 3, 1e-4);
+    ASSERT_EQ(ch.unitaries.size(), static_cast<std::size_t>(4 * 9 - 1));
+    for (const Matrix& u : ch.unitaries) {
+        EXPECT_EQ(u.rows(), 6u);
+    }
+}
+
+TEST(Depolarizing, KrausCompleteness) {
+    EXPECT_TRUE(depolarizing1(2, 0.01).to_kraus(2).is_complete());
+    EXPECT_TRUE(depolarizing1(3, 0.01).to_kraus(3).is_complete());
+    EXPECT_TRUE(depolarizing2(3, 3, 1e-3).to_kraus(9).is_complete(1e-6));
+}
+
+TEST(Depolarizing, RejectsOverUnityProbability) {
+    EXPECT_THROW(depolarizing1(3, 0.2).to_kraus(3), std::invalid_argument);
+}
+
+TEST(AmplitudeDamping, PaperEq8QutritForm) {
+    const Real l1 = 0.1, l2 = 0.3;
+    const auto ch = amplitude_damping(3, {l1, l2});
+    ASSERT_EQ(ch.operators.size(), 3u);
+    // K0 = diag(1, sqrt(1-l1), sqrt(1-l2))
+    EXPECT_NEAR(std::abs(ch.operators[0](0, 0) - Complex(1, 0)), 0, 1e-12);
+    EXPECT_NEAR(ch.operators[0](1, 1).real(), std::sqrt(1 - l1), 1e-12);
+    EXPECT_NEAR(ch.operators[0](2, 2).real(), std::sqrt(1 - l2), 1e-12);
+    // K1 = sqrt(l1)|0><1|, K2 = sqrt(l2)|0><2|
+    EXPECT_NEAR(ch.operators[1](0, 1).real(), std::sqrt(l1), 1e-12);
+    EXPECT_NEAR(ch.operators[2](0, 2).real(), std::sqrt(l2), 1e-12);
+    EXPECT_TRUE(ch.is_complete());
+}
+
+TEST(AmplitudeDamping, QubitFormMatchesEq7) {
+    const auto ch = amplitude_damping(2, {0.25});
+    ASSERT_EQ(ch.operators.size(), 2u);
+    EXPECT_NEAR(ch.operators[0](1, 1).real(), std::sqrt(0.75), 1e-12);
+    EXPECT_NEAR(ch.operators[1](0, 1).real(), 0.5, 1e-12);
+    EXPECT_TRUE(ch.is_complete());
+}
+
+TEST(AmplitudeDamping, Validation) {
+    EXPECT_THROW(amplitude_damping(3, {0.1}), std::invalid_argument);
+    EXPECT_THROW(amplitude_damping(2, {1.5}), std::invalid_argument);
+}
+
+TEST(Kraus, IncompleteDetected) {
+    KrausChannel ch;
+    ch.operators.push_back(Matrix::identity(2) * Complex(0.5, 0));
+    EXPECT_FALSE(ch.is_complete());
+}
+
+}  // namespace
+}  // namespace qd::noise

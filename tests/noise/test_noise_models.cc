@@ -1,0 +1,90 @@
+#include "noise/models.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace qd::noise {
+namespace {
+
+TEST(Table2, SuperconductingParameters) {
+    const auto m = sc();
+    EXPECT_NEAR(3 * m.p1, 1e-4, 1e-12);
+    EXPECT_NEAR(15 * m.p2, 1e-3, 1e-12);
+    EXPECT_NEAR(m.t1, 1e-3, 1e-12);
+    EXPECT_NEAR(m.dt_1q, 100e-9, 1e-15);
+    EXPECT_NEAR(m.dt_2q, 300e-9, 1e-15);
+
+    EXPECT_NEAR(sc_t1().t1, 1e-2, 1e-12);
+    EXPECT_NEAR(3 * sc_gates().p1, 1e-5, 1e-14);
+    EXPECT_NEAR(15 * sc_gates().p2, 1e-4, 1e-13);
+    EXPECT_NEAR(sc_t1_gates().t1, 1e-2, 1e-12);
+    EXPECT_NEAR(15 * sc_t1_gates().p2, 1e-4, 1e-13);
+}
+
+TEST(Table3, TrappedIonParameters) {
+    EXPECT_NEAR(ti_qubit().p1, 6.4e-4, 1e-12);
+    EXPECT_NEAR(ti_qubit().p2, 1.3e-4, 1e-12);
+    EXPECT_NEAR(bare_qutrit().p1, 2.2e-4, 1e-12);
+    EXPECT_NEAR(bare_qutrit().p2, 4.3e-4, 1e-12);
+    EXPECT_NEAR(dressed_qutrit().p1, 1.5e-4, 1e-12);
+    EXPECT_NEAR(dressed_qutrit().p2, 3.1e-4, 1e-12);
+    for (const auto& m : trapped_ion_models()) {
+        EXPECT_NEAR(m.dt_1q, 1e-6, 1e-12) << m.name;
+        EXPECT_NEAR(m.dt_2q, 200e-6, 1e-12) << m.name;
+        EXPECT_FALSE(m.has_damping()) << m.name;
+    }
+    // Only the bare qutrit suffers coherent idle phase noise.
+    EXPECT_TRUE(bare_qutrit().has_dephasing());
+    EXPECT_FALSE(dressed_qutrit().has_dephasing());
+    EXPECT_FALSE(ti_qubit().has_dephasing());
+}
+
+TEST(NoiseModel, LambdaFormulaEq9) {
+    const auto m = sc();
+    // lambda_m = 1 - exp(-m dt / T1)
+    EXPECT_NEAR(m.lambda(1, 300e-9), 1 - std::exp(-300e-9 / 1e-3), 1e-12);
+    EXPECT_NEAR(m.lambda(2, 300e-9), 1 - std::exp(-2 * 300e-9 / 1e-3),
+                1e-12);
+    // Higher levels damp faster.
+    EXPECT_GT(m.lambda(2, 300e-9), m.lambda(1, 300e-9));
+    // No damping without T1.
+    EXPECT_EQ(ti_qubit().lambda(1, 1e-6), 0.0);
+}
+
+TEST(NoiseModel, MomentDurations) {
+    const auto m = sc();
+    EXPECT_EQ(m.moment_duration(false), 100e-9);
+    EXPECT_EQ(m.moment_duration(true), 300e-9);
+}
+
+TEST(NoiseModel, QutritPenaltyRatios) {
+    // Section 7.1: two-qutrit gates are (1-80p2)/(1-15p2) less reliable.
+    const auto m = sc();
+    const Real qubit_ok = 1 - m.gate_error_total_2q(2, 2);
+    const Real qutrit_ok = 1 - m.gate_error_total_2q(3, 3);
+    EXPECT_NEAR(qubit_ok, 1 - 15 * m.p2, 1e-12);
+    EXPECT_NEAR(qutrit_ok, 1 - 80 * m.p2, 1e-12);
+    EXPECT_LT(qutrit_ok, qubit_ok);
+    EXPECT_NEAR(m.gate_error_total_1q(3) / m.gate_error_total_1q(2),
+                8.0 / 3.0, 1e-9);
+}
+
+TEST(NoiseModel, OrderingAcrossSCModels) {
+    // Progressive improvements: each SC+ variant is at least as good.
+    const auto models = superconducting_models();
+    ASSERT_EQ(models.size(), 4u);
+    EXPECT_LE(models[2].p1, models[0].p1);  // SC+GATES
+    EXPECT_GE(models[1].t1, models[0].t1);  // SC+T1
+    EXPECT_LE(models[3].p2, models[0].p2);  // SC+T1+GATES
+    EXPECT_GE(models[3].t1, models[0].t1);
+}
+
+TEST(NoiseModel, DescribeMentionsName) {
+    EXPECT_NE(sc().describe().find("SC"), std::string::npos);
+    EXPECT_NE(bare_qutrit().describe().find("BARE_QUTRIT"),
+              std::string::npos);
+}
+
+}  // namespace
+}  // namespace qd::noise

@@ -1,0 +1,271 @@
+#include "noise/trajectory.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "noise/density_matrix.h"
+#include "noise/models.h"
+#include "qdsim/gate_library.h"
+#include "qdsim/random_state.h"
+#include "qdsim/simulator.h"
+
+namespace qd::noise {
+namespace {
+
+NoiseModel
+noiseless()
+{
+    NoiseModel m;
+    m.name = "NONE";
+    m.dt_1q = 100e-9;
+    m.dt_2q = 300e-9;
+    return m;
+}
+
+Circuit
+small_qutrit_circuit()
+{
+    Circuit c(WireDims::uniform(2, 3));
+    c.append(gates::embed(gates::H(), 3), {0});
+    c.append(gates::Xplus1().controlled(3, 1), {0, 1});
+    c.append(gates::embed(gates::H(), 3), {1});
+    c.append(gates::X12(), {0});
+    return c;
+}
+
+TEST(Trajectory, NoiselessGivesUnitFidelity) {
+    const Circuit c = small_qutrit_circuit();
+    TrajectoryOptions opts;
+    opts.trials = 8;
+    const auto res = run_noisy_trials(c, noiseless(), opts);
+    EXPECT_NEAR(res.mean_fidelity, 1.0, 1e-9);
+    EXPECT_NEAR(res.std_error, 0.0, 1e-9);
+    EXPECT_EQ(res.trials, 8);
+}
+
+TEST(Trajectory, ReproducibleForSeed) {
+    const Circuit c = small_qutrit_circuit();
+    auto model = sc();
+    model.p1 *= 100;  // exaggerate noise so fidelities vary
+    model.p2 *= 100;
+    TrajectoryOptions opts;
+    opts.trials = 16;
+    opts.seed = 7;
+    const auto a = run_noisy_trials(c, model, opts);
+    const auto b = run_noisy_trials(c, model, opts);
+    EXPECT_EQ(a.mean_fidelity, b.mean_fidelity);
+    // Thread count must not change results.
+    opts.threads = 1;
+    const auto serial = run_noisy_trials(c, model, opts);
+    EXPECT_EQ(a.mean_fidelity, serial.mean_fidelity);
+}
+
+TEST(Trajectory, MoreNoiseLowersFidelity) {
+    const Circuit c = small_qutrit_circuit();
+    TrajectoryOptions opts;
+    opts.trials = 200;
+    auto weak = sc();
+    auto strong = sc();
+    strong.p1 = weak.p1 * 300;
+    strong.p2 = weak.p2 * 300;
+    const auto fw = run_noisy_trials(c, weak, opts).mean_fidelity;
+    const auto fs = run_noisy_trials(c, strong, opts).mean_fidelity;
+    EXPECT_GT(fw, fs);
+}
+
+TEST(Trajectory, DampingDrivesExcitedStateDown) {
+    // Idling |1> under strong damping for a total duration of exactly T1:
+    // mean fidelity = survival probability = exp(-1). Z gates keep the
+    // schedule busy without moving a jumped |0> back into the ideal state.
+    Circuit c(WireDims::uniform(1, 2));
+    for (int i = 0; i < 40; ++i) {
+        c.append(gates::Z(), {0});
+    }
+    NoiseModel m = noiseless();
+    m.t1 = 40 * m.dt_1q;  // strong damping
+    StateVector one(c.dims(), {1});
+    Rng rng(3);
+    Real mean = 0;
+    const int trials = 600;
+    const StateVector ideal = simulate(c, one);
+    for (int t = 0; t < trials; ++t) {
+        Rng child = rng.child(static_cast<std::uint64_t>(t));
+        mean += run_single_trajectory(c, m, one, ideal, child);
+    }
+    mean /= trials;
+    EXPECT_NEAR(mean, std::exp(-1.0), 0.06);
+}
+
+TEST(Trajectory, QutritLevel2DampsFasterThanLevel1) {
+    // |2> damps with lambda_2 = 1-exp(-2dt/T1) > lambda_1.
+    Circuit c(WireDims::uniform(1, 3));
+    for (int i = 0; i < 10; ++i) {
+        c.append(gates::X01(), {0});
+        c.append(gates::X01(), {0});
+    }
+    NoiseModel m = noiseless();
+    m.t1 = 20 * m.dt_1q;
+    const StateVector one(c.dims(), {1});
+    const StateVector two(c.dims(), {2});
+    auto mean_fid = [&](const StateVector& init) {
+        Rng rng(17);
+        Real mean = 0;
+        const StateVector ideal = simulate(c, init);
+        for (int t = 0; t < 400; ++t) {
+            Rng child = rng.child(static_cast<std::uint64_t>(t));
+            mean += run_single_trajectory(c, m, init, ideal, child);
+        }
+        return mean / 400;
+    };
+    EXPECT_LT(mean_fid(two), mean_fid(one));
+}
+
+TEST(Trajectory, ConvergesToDensityMatrixDepolarizing) {
+    // The trajectory mean must converge to the exact density-matrix
+    // fidelity (paper Section 6.2). Two-qutrit circuit, gate errors only.
+    const Circuit c = small_qutrit_circuit();
+    NoiseModel m = noiseless();
+    m.p1 = 2e-3;
+    m.p2 = 1e-3;
+    Rng rng(5);
+    const StateVector init = haar_random_state(c.dims(), rng);
+    const Real exact = density_matrix_fidelity(c, m, init);
+    const StateVector ideal = simulate(c, init);
+    Real mean = 0;
+    const int trials = 4000;
+    for (int t = 0; t < trials; ++t) {
+        Rng child = rng.child(static_cast<std::uint64_t>(t));
+        mean += run_single_trajectory(c, m, init, ideal, child);
+    }
+    mean /= trials;
+    EXPECT_NEAR(mean, exact, 0.01);
+}
+
+TEST(Trajectory, ConvergesToDensityMatrixWithDamping) {
+    const Circuit c = small_qutrit_circuit();
+    NoiseModel m = noiseless();
+    m.p1 = 1e-3;
+    m.p2 = 1e-3;
+    m.t1 = 300 * m.dt_2q;  // noticeable damping
+    Rng rng(6);
+    const StateVector init = haar_random_state(c.dims(), rng);
+    const Real exact = density_matrix_fidelity(c, m, init);
+    const StateVector ideal = simulate(c, init);
+    Real mean = 0;
+    const int trials = 4000;
+    for (int t = 0; t < trials; ++t) {
+        Rng child = rng.child(static_cast<std::uint64_t>(t));
+        mean += run_single_trajectory(c, m, init, ideal, child);
+    }
+    mean /= trials;
+    EXPECT_NEAR(mean, exact, 0.01);
+}
+
+TEST(Trajectory, ConvergesToDensityMatrixWithDephasing) {
+    Circuit c(WireDims::uniform(1, 3));
+    c.append(gates::H3(), {0});
+    c.append(gates::H3().inverse(), {0});
+    NoiseModel m = noiseless();
+    m.dephasing_sigma = 300.0;  // strong phase noise over ns moments
+    m.dt_1q = 1e-6;
+    m.dt_2q = 200e-6;
+    Rng rng(8);
+    const StateVector init = haar_random_state(c.dims(), rng);
+    const Real exact = density_matrix_fidelity(c, m, init);
+    const StateVector ideal = simulate(c, init);
+    Real mean = 0;
+    const int trials = 6000;
+    for (int t = 0; t < trials; ++t) {
+        Rng child = rng.child(static_cast<std::uint64_t>(t));
+        mean += run_single_trajectory(c, m, init, ideal, child);
+    }
+    mean /= trials;
+    EXPECT_NEAR(mean, exact, 0.015);
+}
+
+TEST(Trajectory, QubitSubspaceInputsStayQubit) {
+    // With qubit-subspace inputs the ideal output of a binary-logic
+    // circuit has no |2> population (paper: inputs/outputs are qubits).
+    Circuit c(WireDims::uniform(3, 3));
+    c.append(gates::Xplus1().controlled(3, 1), {0, 1});
+    c.append(gates::Xminus1().controlled(3, 1), {0, 1});
+    TrajectoryOptions opts;
+    opts.trials = 4;
+    const auto res = run_noisy_trials(c, noiseless(), opts);
+    EXPECT_NEAR(res.mean_fidelity, 1.0, 1e-9);
+}
+
+TEST(Trajectory, StdErrorShrinksWithTrials) {
+    const Circuit c = small_qutrit_circuit();
+    auto model = sc();
+    model.p1 *= 200;
+    model.p2 *= 200;
+    TrajectoryOptions small_opts, large_opts;
+    small_opts.trials = 50;
+    large_opts.trials = 800;
+    const auto s = run_noisy_trials(c, model, small_opts);
+    const auto l = run_noisy_trials(c, model, large_opts);
+    EXPECT_LT(l.std_error, s.std_error);
+}
+
+
+TEST(Trajectory, MixedRadixDampingSequentialPath) {
+    // Mixed-radix registers take the exact per-wire sequential idle path;
+    // validate against the density-matrix oracle.
+    Circuit c(WireDims({2, 3}));
+    c.append(gates::H(), {0});
+    c.append(gates::Xplus1().controlled(2, 1), {0, 1});
+    c.append(gates::H3(), {1});
+    NoiseModel m = noiseless();
+    m.p2 = 1e-3;
+    m.t1 = 100 * m.dt_2q;
+    Rng rng(12);
+    const StateVector init = haar_random_state(c.dims(), rng);
+    const Real exact = density_matrix_fidelity(c, m, init);
+    const StateVector ideal = simulate(c, init);
+    Real mean = 0;
+    const int trials = 4000;
+    for (int t = 0; t < trials; ++t) {
+        Rng child = rng.child(static_cast<std::uint64_t>(t));
+        mean += run_single_trajectory(c, m, init, ideal, child);
+    }
+    mean /= trials;
+    EXPECT_NEAR(mean, exact, 0.012);
+}
+
+TEST(Trajectory, TotalConventionScalesErrors) {
+    // Under GateErrorConvention::kTotal the qutrit circuit pays the same
+    // total error as a qubit circuit with identical gate count would.
+    Circuit c3(WireDims::uniform(2, 3));
+    for (int i = 0; i < 50; ++i) {
+        c3.append(gates::Xplus1().controlled(3, 1), {0, 1});
+        c3.append(gates::Xminus1().controlled(3, 1), {0, 1});
+    }
+    NoiseModel total = noiseless();
+    total.p2 = 2e-3;
+    total.convention = GateErrorConvention::kTotal;
+    NoiseModel per_channel = noiseless();
+    per_channel.p2 = 2e-3 / 80.0;  // same total for d=3 pairs
+    TrajectoryOptions opts;
+    opts.trials = 400;
+    const Real ft = run_noisy_trials(c3, total, opts).mean_fidelity;
+    const Real fp =
+        run_noisy_trials(c3, per_channel, opts).mean_fidelity;
+    EXPECT_NEAR(ft, fp, 0.001);  // identical draws given the same seed
+}
+
+TEST(Trajectory, PerChannelConventionPenalisesQutrits) {
+    // gate_error_total must expose the paper's (1-80p2)/(1-15p2) penalty
+    // only in the per-channel convention.
+    NoiseModel m = noiseless();
+    m.p2 = 1e-4;
+    EXPECT_NEAR(m.gate_error_total_2q(3, 3) / m.gate_error_total_2q(2, 2),
+                80.0 / 15.0, 1e-9);
+    m.convention = GateErrorConvention::kTotal;
+    EXPECT_NEAR(m.gate_error_total_2q(3, 3), m.gate_error_total_2q(2, 2),
+                1e-12);
+}
+
+}  // namespace
+}  // namespace qd::noise

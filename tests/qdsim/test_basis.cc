@@ -1,0 +1,70 @@
+#include "qdsim/basis.h"
+
+#include <gtest/gtest.h>
+
+namespace qd {
+namespace {
+
+TEST(WireDims, UniformQubits) {
+    const WireDims dims = WireDims::uniform(3, 2);
+    EXPECT_EQ(dims.num_wires(), 3);
+    EXPECT_EQ(dims.size(), 8u);
+    EXPECT_EQ(dims.stride(0), 4u);
+    EXPECT_EQ(dims.stride(1), 2u);
+    EXPECT_EQ(dims.stride(2), 1u);
+}
+
+TEST(WireDims, UniformQutrits) {
+    const WireDims dims = WireDims::uniform(4, 3);
+    EXPECT_EQ(dims.size(), 81u);
+    EXPECT_EQ(dims.stride(0), 27u);
+}
+
+TEST(WireDims, MixedRadix) {
+    // qubit, qutrit, 5-level qudit
+    const WireDims dims({2, 3, 5});
+    EXPECT_EQ(dims.size(), 30u);
+    EXPECT_EQ(dims.stride(0), 15u);
+    EXPECT_EQ(dims.stride(1), 5u);
+    EXPECT_EQ(dims.stride(2), 1u);
+}
+
+TEST(WireDims, PackUnpackRoundTrip) {
+    const WireDims dims({2, 3, 4});
+    for (Index i = 0; i < dims.size(); ++i) {
+        EXPECT_EQ(dims.pack(dims.unpack(i)), i);
+    }
+}
+
+TEST(WireDims, DigitExtraction) {
+    const WireDims dims({2, 3, 4});
+    const Index idx = dims.pack({1, 2, 3});
+    EXPECT_EQ(dims.digit(idx, 0), 1);
+    EXPECT_EQ(dims.digit(idx, 1), 2);
+    EXPECT_EQ(dims.digit(idx, 2), 3);
+}
+
+TEST(WireDims, Wire0IsMostSignificant) {
+    const WireDims dims = WireDims::uniform(2, 3);
+    EXPECT_EQ(dims.pack({1, 0}), 3u);
+    EXPECT_EQ(dims.pack({0, 1}), 1u);
+}
+
+TEST(WireDims, RejectsBadDims) {
+    EXPECT_THROW(WireDims({2, 1}), std::invalid_argument);
+    EXPECT_THROW(WireDims({0}), std::invalid_argument);
+}
+
+TEST(WireDims, PackValidation) {
+    const WireDims dims({2, 3});
+    EXPECT_THROW(dims.pack({2, 0}), std::out_of_range);
+    EXPECT_THROW(dims.pack({0}), std::invalid_argument);
+}
+
+TEST(WireDims, Equality) {
+    EXPECT_TRUE(WireDims({2, 3}) == WireDims({2, 3}));
+    EXPECT_FALSE(WireDims({2, 3}) == WireDims({3, 2}));
+}
+
+}  // namespace
+}  // namespace qd

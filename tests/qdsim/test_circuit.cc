@@ -1,0 +1,186 @@
+#include "qdsim/circuit.h"
+
+#include <gtest/gtest.h>
+
+#include "qdsim/gate_library.h"
+#include "qdsim/moments.h"
+#include "qdsim/random_state.h"
+#include "qdsim/simulator.h"
+
+namespace qd {
+namespace {
+
+Circuit
+bell_pair()
+{
+    Circuit c(WireDims::uniform(2, 2));
+    c.append(gates::H(), {0});
+    c.append(gates::CNOT(), {0, 1});
+    return c;
+}
+
+TEST(Circuit, AppendValidatesArity) {
+    Circuit c(WireDims::uniform(2, 2));
+    EXPECT_THROW(c.append(gates::CNOT(), {0}), std::invalid_argument);
+}
+
+TEST(Circuit, AppendValidatesWireRange) {
+    Circuit c(WireDims::uniform(2, 2));
+    EXPECT_THROW(c.append(gates::X(), {2}), std::out_of_range);
+    EXPECT_THROW(c.append(gates::X(), {-1}), std::out_of_range);
+}
+
+TEST(Circuit, AppendValidatesDims) {
+    Circuit c(WireDims({2, 3}));
+    EXPECT_THROW(c.append(gates::X(), {1}), std::invalid_argument);
+    EXPECT_NO_THROW(c.append(gates::Xplus1(), {1}));
+}
+
+TEST(Circuit, AppendRejectsDuplicateWires) {
+    Circuit c(WireDims::uniform(2, 2));
+    EXPECT_THROW(c.append(gates::CNOT(), {1, 1}), std::invalid_argument);
+}
+
+TEST(Circuit, StatsCounts) {
+    Circuit c(WireDims::uniform(3, 2));
+    c.append(gates::H(), {0});
+    c.append(gates::CNOT(), {0, 1});
+    c.append(gates::CCX(), {0, 1, 2});
+    const auto s = c.stats();
+    EXPECT_EQ(s.total_gates, 3u);
+    EXPECT_EQ(s.one_qudit, 1u);
+    EXPECT_EQ(s.two_qudit, 1u);
+    EXPECT_EQ(s.three_plus_qudit, 1u);
+    EXPECT_EQ(s.depth, 3);
+}
+
+TEST(Circuit, DepthParallelGates) {
+    Circuit c(WireDims::uniform(4, 2));
+    c.append(gates::X(), {0});
+    c.append(gates::X(), {1});
+    c.append(gates::X(), {2});
+    c.append(gates::X(), {3});
+    EXPECT_EQ(c.depth(), 1);
+    c.append(gates::CNOT(), {0, 1});
+    c.append(gates::CNOT(), {2, 3});
+    EXPECT_EQ(c.depth(), 2);
+    c.append(gates::CNOT(), {1, 2});
+    EXPECT_EQ(c.depth(), 3);
+}
+
+TEST(Circuit, InverseUndoes) {
+    const Circuit c = bell_pair();
+    Circuit full = c;
+    full.extend(c.inverse());
+    StateVector psi = simulate(full);
+    EXPECT_NEAR(std::abs(psi[0]), 1.0, 1e-10);
+}
+
+TEST(Circuit, InverseReversesOrder) {
+    Circuit c(WireDims::uniform(1, 2));
+    c.append(gates::S(), {0});
+    c.append(gates::H(), {0});
+    const Circuit inv = c.inverse();
+    ASSERT_EQ(inv.num_ops(), 2u);
+    EXPECT_EQ(inv.ops()[0].gate.name(), "H†");
+    EXPECT_EQ(inv.ops()[1].gate.name(), "S†");
+}
+
+TEST(Circuit, ExtendRequiresSameRegister) {
+    Circuit a(WireDims::uniform(2, 2));
+    Circuit b(WireDims::uniform(3, 2));
+    EXPECT_THROW(a.extend(b), std::invalid_argument);
+}
+
+TEST(Circuit, SummaryMentionsCounts) {
+    const Circuit c = bell_pair();
+    const std::string s = c.summary("bell");
+    EXPECT_NE(s.find("bell"), std::string::npos);
+    EXPECT_NE(s.find("gates=2"), std::string::npos);
+}
+
+TEST(Moments, AsapPacksDisjointOps) {
+    Circuit c(WireDims::uniform(4, 2));
+    c.append(gates::X(), {0});
+    c.append(gates::X(), {1});
+    c.append(gates::CNOT(), {2, 3});
+    c.append(gates::CNOT(), {0, 1});
+    const auto moments = schedule_asap(c);
+    ASSERT_EQ(moments.size(), 2u);
+    EXPECT_EQ(moments[0].op_indices.size(), 3u);
+    EXPECT_TRUE(moments[0].has_multi_qudit);
+    EXPECT_EQ(moments[1].op_indices.size(), 1u);
+    EXPECT_TRUE(moments[1].has_multi_qudit);
+}
+
+TEST(Moments, SingleQuditOnlyMomentFlag) {
+    Circuit c(WireDims::uniform(2, 2));
+    c.append(gates::X(), {0});
+    c.append(gates::X(), {1});
+    const auto moments = schedule_asap(c);
+    ASSERT_EQ(moments.size(), 1u);
+    EXPECT_FALSE(moments[0].has_multi_qudit);
+}
+
+TEST(Moments, WiresDisjointWithinMoment) {
+    // Property: no wire appears twice in one moment.
+    Circuit c(WireDims::uniform(5, 2));
+    c.append(gates::CNOT(), {0, 2});
+    c.append(gates::CNOT(), {1, 3});
+    c.append(gates::X(), {4});
+    c.append(gates::CNOT(), {2, 1});
+    c.append(gates::X(), {0});
+    for (const auto& m : schedule_asap(c)) {
+        std::vector<bool> used(5, false);
+        for (const std::size_t idx : m.op_indices) {
+            for (const int w : c.ops()[idx].wires) {
+                EXPECT_FALSE(used[static_cast<std::size_t>(w)]);
+                used[static_cast<std::size_t>(w)] = true;
+            }
+        }
+    }
+}
+
+TEST(Moments, DepthMatchesMomentCount) {
+    Circuit c(WireDims::uniform(3, 2));
+    c.append(gates::H(), {0});
+    c.append(gates::CNOT(), {0, 1});
+    c.append(gates::CNOT(), {1, 2});
+    c.append(gates::H(), {0});
+    EXPECT_EQ(static_cast<std::size_t>(c.depth()),
+              schedule_asap(c).size());
+}
+
+
+TEST(Circuit, InverseOfRandomCircuitIsUnitaryInverse) {
+    // Property: for random small circuits, U(C⁻¹) U(C) == I.
+    Rng rng(314);
+    for (int trial = 0; trial < 8; ++trial) {
+        Circuit c(WireDims({2, 3, 2}));
+        for (int g = 0; g < 10; ++g) {
+            switch (rng.uniform_int(4)) {
+              case 0:
+                c.append(gates::H(), {rng.uniform() < 0.5 ? 0 : 2});
+                break;
+              case 1:
+                c.append(gates::H3(), {1});
+                break;
+              case 2:
+                c.append(gates::Xplus1().controlled(2, 1),
+                         {rng.uniform() < 0.5 ? 0 : 2, 1});
+                break;
+              default:
+                c.append(gates::T(), {rng.uniform() < 0.5 ? 0 : 2});
+                break;
+            }
+        }
+        Circuit round = c;
+        round.extend(c.inverse());
+        const Matrix u = circuit_unitary(round);
+        EXPECT_TRUE(u.approx_equal(Matrix::identity(u.rows()), 1e-8))
+            << "trial " << trial;
+    }
+}
+
+}  // namespace
+}  // namespace qd

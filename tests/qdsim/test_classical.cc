@@ -1,0 +1,117 @@
+#include "qdsim/classical.h"
+
+#include <gtest/gtest.h>
+
+#include "qdsim/gate_library.h"
+#include "qdsim/random_state.h"
+#include "qdsim/simulator.h"
+
+namespace qd {
+namespace {
+
+TEST(Classical, SimpleNot) {
+    Circuit c(WireDims::uniform(2, 2));
+    c.append(gates::X(), {1});
+    EXPECT_EQ(classical_run(c, {0, 0}), (std::vector<int>{0, 1}));
+    EXPECT_EQ(classical_run(c, {1, 1}), (std::vector<int>{1, 0}));
+}
+
+TEST(Classical, ToffoliTruthTable) {
+    Circuit c(WireDims::uniform(3, 2));
+    c.append(gates::CCX(), {0, 1, 2});
+    for (int a = 0; a < 2; ++a) {
+        for (int b = 0; b < 2; ++b) {
+            for (int t = 0; t < 2; ++t) {
+                const auto out = classical_run(c, {a, b, t});
+                EXPECT_EQ(out[0], a);
+                EXPECT_EQ(out[1], b);
+                EXPECT_EQ(out[2], t ^ (a & b));
+            }
+        }
+    }
+}
+
+TEST(Classical, PaperFig4ToffoliViaQutrits) {
+    // The three-gate qutrit Toffoli of paper Figure 4, built by hand:
+    // |1>-controlled X+1 on (q0; q1), |2>-controlled X on (q1; q2),
+    // |1>-controlled X-1 on (q0; q1).
+    Circuit c(WireDims::uniform(3, 3));
+    c.append(gates::Xplus1().controlled(3, 1), {0, 1});
+    c.append(gates::embed(gates::X(), 3).controlled(3, 2), {1, 2});
+    c.append(gates::Xminus1().controlled(3, 1), {0, 1});
+    // Verify the Toffoli truth table on binary inputs.
+    const auto fail = verify_exhaustive(c, 2, [](const std::vector<int>& in) {
+        std::vector<int> out = in;
+        out[2] = in[2] ^ (in[0] & in[1]);
+        return out;
+    });
+    EXPECT_TRUE(fail.empty()) << "first failing input digit0=" <<
+        (fail.empty() ? -1 : fail[0]);
+}
+
+TEST(Classical, RejectsNonPermutationGate) {
+    Circuit c(WireDims::uniform(1, 2));
+    c.append(gates::H(), {0});
+    EXPECT_FALSE(is_classical_circuit(c));
+    EXPECT_THROW(classical_run(c, {0}), std::invalid_argument);
+}
+
+TEST(Classical, WidthMismatchThrows) {
+    Circuit c(WireDims::uniform(2, 2));
+    EXPECT_THROW(classical_run(c, {0}), std::invalid_argument);
+}
+
+TEST(Classical, AgreesWithStateVectorOnRandomPermutationCircuits) {
+    // Property test: for random circuits of permutation gates over mixed
+    // radix wires, classical_run on basis input == state-vector simulation.
+    Rng rng(2024);
+    for (int trial = 0; trial < 20; ++trial) {
+        const WireDims dims({2, 3, 3, 2});
+        Circuit c(dims);
+        for (int g = 0; g < 15; ++g) {
+            const int w = static_cast<int>(rng.uniform_int(4));
+            const int d = dims.dim(w);
+            switch (rng.uniform_int(3)) {
+              case 0:
+                c.append(d == 2 ? gates::X() : gates::Xplus1(), {w});
+                break;
+              case 1: {
+                int w2 = static_cast<int>(rng.uniform_int(4));
+                while (w2 == w) {
+                    w2 = static_cast<int>(rng.uniform_int(4));
+                }
+                const int d2 = dims.dim(w2);
+                const Gate target = d2 == 2 ? gates::X() : gates::X12();
+                const int cv = static_cast<int>(
+                    rng.uniform_int(static_cast<std::uint64_t>(d)));
+                c.append(target.controlled(d, cv), {w, w2});
+                break;
+              }
+              default:
+                c.append(d == 2 ? gates::X() : gates::X02(), {w});
+                break;
+            }
+        }
+        std::vector<int> input(4);
+        for (int w = 0; w < 4; ++w) {
+            input[static_cast<std::size_t>(w)] = static_cast<int>(
+                rng.uniform_int(static_cast<std::uint64_t>(dims.dim(w))));
+        }
+        const auto digits = classical_run(c, input);
+        StateVector psi(dims, input);
+        apply_circuit(c, psi);
+        EXPECT_NEAR(std::abs(psi[dims.pack(digits)]), 1.0, 1e-9);
+    }
+}
+
+TEST(Classical, VerifyExhaustiveFindsInjectedBug) {
+    Circuit c(WireDims::uniform(2, 2));
+    c.append(gates::CNOT(), {0, 1});
+    // Wrong reference: expects identity.
+    const auto fail = verify_exhaustive(
+        c, 2, [](const std::vector<int>& in) { return in; });
+    EXPECT_FALSE(fail.empty());
+}
+
+}  // namespace
+}  // namespace qd

@@ -1,0 +1,119 @@
+#include "qdsim/diagram.h"
+
+#include <gtest/gtest.h>
+
+#include "qdsim/gate_library.h"
+
+namespace qd {
+namespace {
+
+Circuit
+figure4_toffoli()
+{
+    Circuit c(WireDims::uniform(3, 3));
+    c.append(gates::Xplus1().controlled(3, 1), {0, 1});
+    c.append(gates::embed(gates::X(), 3).controlled(3, 2), {1, 2});
+    c.append(gates::Xminus1().controlled(3, 1), {0, 1});
+    return c;
+}
+
+TEST(Diagram, Figure4Layout) {
+    const std::string d = render_diagram(figure4_toffoli());
+    // Three rows, one per wire.
+    EXPECT_EQ(std::count(d.begin(), d.end(), '\n'), 3);
+    // q0 carries two |1>-controls, q1 the X+1 / X-1 boxes and a
+    // |2>-control, q2 the X box.
+    EXPECT_NE(d.find("q0:"), std::string::npos);
+    EXPECT_NE(d.find("X+1"), std::string::npos);
+    EXPECT_NE(d.find("X-1"), std::string::npos);
+    EXPECT_NE(d.find("2"), std::string::npos);
+}
+
+TEST(Diagram, ControlValuesOnControlWire) {
+    Circuit c(WireDims::uniform(2, 3));
+    c.append(gates::X01().controlled(3, 2), {0, 1});
+    const std::string d = render_diagram(c);
+    const std::size_t row0_end = d.find('\n');
+    const std::string row0 = d.substr(0, row0_end);
+    const std::string row1 = d.substr(row0_end + 1);
+    EXPECT_NE(row0.find('2'), std::string::npos);
+    EXPECT_NE(row1.find("X01"), std::string::npos);
+    EXPECT_EQ(row1.find('2'), std::string::npos);
+}
+
+TEST(Diagram, SpanMarksMiddleWires) {
+    // Gate on wires 0 and 2 must draw a vertical through wire 1.
+    Circuit c(WireDims::uniform(3, 2));
+    c.append(gates::CNOT(), {0, 2});
+    const std::string d = render_diagram(c);
+    const std::size_t first_nl = d.find('\n');
+    const std::size_t second_nl = d.find('\n', first_nl + 1);
+    const std::string row1 = d.substr(first_nl + 1,
+                                      second_nl - first_nl - 1);
+    EXPECT_NE(row1.find('|'), std::string::npos);
+}
+
+TEST(Diagram, MomentsShareColumns) {
+    Circuit c(WireDims::uniform(2, 2));
+    c.append(gates::X(), {0});
+    c.append(gates::X(), {1});
+    const std::string by_moment = render_diagram(c);
+    DiagramOptions per_op;
+    per_op.by_moments = false;
+    const std::string by_op = render_diagram(c, per_op);
+    // Parallel single-qubit gates share a column in moment mode, so the
+    // rendering is narrower.
+    EXPECT_LT(by_moment.size(), by_op.size());
+}
+
+TEST(Diagram, TruncatesLongCircuits) {
+    Circuit c(WireDims::uniform(1, 2));
+    for (int i = 0; i < 200; ++i) {
+        c.append(gates::X(), {0});
+    }
+    DiagramOptions opts;
+    opts.max_columns = 10;
+    const std::string d = render_diagram(c, opts);
+    EXPECT_NE(d.find("..."), std::string::npos);
+    EXPECT_LT(d.size(), 200u);
+}
+
+TEST(Diagram, UncontrolledMultiWireGateNamesAllOperands) {
+    Circuit c(WireDims::uniform(2, 2));
+    const Matrix swap{{1, 0, 0, 0},
+                      {0, 0, 1, 0},
+                      {0, 1, 0, 0},
+                      {0, 0, 0, 1}};
+    c.append(gates::from_matrix("SWAP", {2, 2}, swap), {0, 1});
+    const std::string d = render_diagram(c);
+    // Both rows carry the name.
+    const std::size_t first = d.find("SWAP");
+    ASSERT_NE(first, std::string::npos);
+    EXPECT_NE(d.find("SWAP", first + 1), std::string::npos);
+}
+
+TEST(Diagram, WirePrefix) {
+    Circuit c(WireDims::uniform(2, 3));
+    DiagramOptions opts;
+    opts.wire_prefix = "a";
+    const std::string d = render_diagram(c, opts);
+    EXPECT_NE(d.find("a0:"), std::string::npos);
+    EXPECT_NE(d.find("a1:"), std::string::npos);
+}
+
+
+TEST(Diagram, HandlesParallelMomentsOfTreeCircuit) {
+    // Rendering must never place two tokens in one cell even when moments
+    // pack parallel multi-wire gates.
+    Circuit c(WireDims::uniform(6, 3));
+    c.append(gates::Xplus1().controlled(3, 1), {0, 1});
+    c.append(gates::Xplus1().controlled(3, 1), {2, 3});
+    c.append(gates::Xplus1().controlled(3, 1), {4, 5});
+    const std::string d = render_diagram(c);
+    // One column: every row non-empty, 6 rows.
+    EXPECT_EQ(std::count(d.begin(), d.end(), '\n'), 6);
+    EXPECT_EQ(d.find("..."), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qd

@@ -1,0 +1,156 @@
+#include "qdsim/gate.h"
+
+#include <gtest/gtest.h>
+
+#include "qdsim/gate_library.h"
+
+namespace qd {
+namespace {
+
+TEST(Gate, PermutationDerivedForX) {
+    const Gate x = gates::X();
+    ASSERT_TRUE(x.is_permutation());
+    EXPECT_EQ(x.permute(0), 1u);
+    EXPECT_EQ(x.permute(1), 0u);
+}
+
+TEST(Gate, PermutationDerivedForTernaryShift) {
+    const Gate s = gates::Xplus1();
+    ASSERT_TRUE(s.is_permutation());
+    EXPECT_EQ(s.permute(0), 1u);
+    EXPECT_EQ(s.permute(1), 2u);
+    EXPECT_EQ(s.permute(2), 0u);
+}
+
+TEST(Gate, NoPermutationForHadamard) {
+    EXPECT_FALSE(gates::H().is_permutation());
+}
+
+TEST(Gate, NoPermutationForZ) {
+    // Z has a -1 entry: basis-state preserving only up to phase, so it is
+    // deliberately not treated as classical.
+    EXPECT_FALSE(gates::Z().is_permutation());
+}
+
+TEST(Gate, DiagonalDetection) {
+    EXPECT_TRUE(gates::Z().is_diagonal_gate());
+    EXPECT_TRUE(gates::S().is_diagonal_gate());
+    EXPECT_FALSE(gates::X().is_diagonal_gate());
+}
+
+TEST(Gate, InverseOfShiftIsUnshift) {
+    const Gate inv = gates::Xplus1().inverse();
+    EXPECT_TRUE(inv.matrix().approx_equal(gates::Xminus1().matrix()));
+}
+
+TEST(Gate, InverseNaming) {
+    const Gate t = gates::T();
+    const Gate td = t.inverse();
+    EXPECT_EQ(td.name(), "T†");
+    EXPECT_EQ(td.inverse().name(), "T");
+}
+
+TEST(Gate, InverseIsAdjoint) {
+    const Gate h3 = gates::H3();
+    const Matrix prod = h3.matrix() * h3.inverse().matrix();
+    EXPECT_TRUE(prod.approx_equal(Matrix::identity(3), 1e-10));
+}
+
+TEST(Gate, ControlledOnValue1) {
+    const Gate cx = gates::X().controlled(2, 1);
+    EXPECT_EQ(cx.arity(), 2);
+    ASSERT_TRUE(cx.is_permutation());
+    // |00>->|00>, |01>->|01>, |10>->|11>, |11>->|10>
+    EXPECT_EQ(cx.permute(0), 0u);
+    EXPECT_EQ(cx.permute(1), 1u);
+    EXPECT_EQ(cx.permute(2), 3u);
+    EXPECT_EQ(cx.permute(3), 2u);
+}
+
+TEST(Gate, ControlledOnValue2Qutrit) {
+    // |2>-controlled X01 on two qutrits (the key gate of paper Fig. 4).
+    const Gate g = gates::X01().controlled(3, 2);
+    ASSERT_TRUE(g.is_permutation());
+    // Input |2,0> = index 6 -> |2,1> = 7.
+    EXPECT_EQ(g.permute(6), 7u);
+    EXPECT_EQ(g.permute(7), 6u);
+    // Control at |1>: untouched.
+    EXPECT_EQ(g.permute(3), 3u);
+    EXPECT_EQ(g.permute(4), 4u);
+}
+
+TEST(Gate, DoublyControlledMixedValues) {
+    // CC[1][2]X+1 on three qutrits: the tree gate of the paper's
+    // construction with a |1> and a |2> control.
+    const Gate g =
+        gates::Xplus1().controlled(std::vector<int>{3, 3},
+                                   std::vector<int>{1, 2});
+    ASSERT_TRUE(g.is_permutation());
+    // |1,2,1> (index 1*9+2*3+1=16) -> |1,2,2> (17).
+    EXPECT_EQ(g.permute(16), 17u);
+    // |2,2,1> (25): first control fails -> unchanged.
+    EXPECT_EQ(g.permute(25), 25u);
+}
+
+TEST(Gate, ControlledMatrixIsUnitary) {
+    EXPECT_TRUE(gates::Xplus1()
+                    .controlled(std::vector<int>{3, 3},
+                                std::vector<int>{1, 2})
+                    .matrix()
+                    .is_unitary());
+}
+
+TEST(Gate, ControlValueOutOfRangeThrows) {
+    EXPECT_THROW(gates::X().controlled(2, 2), std::invalid_argument);
+    EXPECT_THROW(gates::X().controlled(3, 3), std::invalid_argument);
+}
+
+TEST(Gate, ControlledNameRendering) {
+    const Gate g = gates::Xplus1().controlled(3, 2);
+    EXPECT_EQ(g.name(), "C[2]X+1");
+}
+
+TEST(Gate, MixedDimControlled) {
+    // Qubit control on a qutrit target: dims (2,3) block 6.
+    const Gate g = gates::Xplus1().controlled(2, 1);
+    EXPECT_EQ(g.block_size(), 6u);
+    ASSERT_TRUE(g.is_permutation());
+    EXPECT_EQ(g.permute(3), 4u);  // |1,0> -> |1,1>
+    EXPECT_EQ(g.permute(5), 3u);  // |1,2> -> |1,0>
+    EXPECT_EQ(g.permute(0), 0u);
+}
+
+
+TEST(Gate, NestedControlledEqualsMultiControlled) {
+    // controlled(controlled(U)) == controlled with two controls.
+    const Gate once = gates::X01().controlled(3, 2);
+    const Gate twice = once.controlled(3, 1);
+    const Gate direct = gates::X01().controlled(std::vector<int>{3, 3},
+                                                std::vector<int>{1, 2});
+    EXPECT_TRUE(twice.matrix().approx_equal(direct.matrix()));
+}
+
+TEST(Gate, ControlledInverseIsInverseControlled) {
+    const Gate a = gates::Xplus1().controlled(3, 2).inverse();
+    const Gate b = gates::Xplus1().inverse().controlled(3, 2);
+    EXPECT_TRUE(a.matrix().approx_equal(b.matrix()));
+}
+
+TEST(Gate, PermutationRoundTripAllGates) {
+    // Every permutation gate's classical action matches its matrix.
+    for (const Gate& g :
+         {gates::X01(), gates::X02(), gates::X12(), gates::Xplus1(),
+          gates::Xminus1(), gates::shift(5), gates::swap_levels(4, 0, 3),
+          gates::CCX(), gates::Xplus1().controlled(3, 0)}) {
+        ASSERT_TRUE(g.is_permutation()) << g.name();
+        const Matrix& m = g.matrix();
+        for (Index in = 0; in < g.block_size(); ++in) {
+            const Index out = g.permute(in);
+            EXPECT_NEAR(std::abs(m(out, in) - Complex(1, 0)), 0.0, 1e-12)
+                << g.name() << " col " << in;
+        }
+    }
+}
+
+}  // namespace
+}  // namespace qd

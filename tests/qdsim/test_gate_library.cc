@@ -1,0 +1,157 @@
+#include "qdsim/gate_library.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace qd {
+namespace {
+
+// Every gate in the library must be unitary.
+class GateUnitarity : public ::testing::TestWithParam<Gate> {};
+
+TEST_P(GateUnitarity, IsUnitary) {
+    EXPECT_TRUE(GetParam().matrix().is_unitary())
+        << GetParam().name() << "\n" << GetParam().matrix().to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGates, GateUnitarity,
+    ::testing::Values(gates::X(), gates::Y(), gates::Z(), gates::H(),
+                      gates::S(), gates::T(), gates::P(0.3), gates::RZ(1.1),
+                      gates::Xpow(0.25), gates::CNOT(), gates::CZ(),
+                      gates::CCX(), gates::X01(), gates::X02(), gates::X12(),
+                      gates::Xplus1(), gates::Xminus1(), gates::Z3(),
+                      gates::H3(), gates::shift(5), gates::unshift(7),
+                      gates::swap_levels(4, 1, 3), gates::Zd(5),
+                      gates::fourier(6), gates::phase_level(3, 2, 0.7),
+                      gates::embed(gates::H(), 3)),
+    [](const ::testing::TestParamInfo<Gate>& info) {
+        std::string name = info.param.name();
+        for (char& c : name) {
+            if (!std::isalnum(static_cast<unsigned char>(c))) {
+                c = '_';
+            }
+        }
+        return name + "_" + std::to_string(info.index);
+    });
+
+// Figure 3 left: each Xij swaps |i> and |j>, leaving the third unchanged.
+TEST(TernaryGates, X01Action) {
+    const Gate g = gates::X01();
+    EXPECT_EQ(g.permute(0), 1u);
+    EXPECT_EQ(g.permute(1), 0u);
+    EXPECT_EQ(g.permute(2), 2u);
+}
+
+TEST(TernaryGates, X02Action) {
+    const Gate g = gates::X02();
+    EXPECT_EQ(g.permute(0), 2u);
+    EXPECT_EQ(g.permute(2), 0u);
+    EXPECT_EQ(g.permute(1), 1u);
+}
+
+TEST(TernaryGates, X12Action) {
+    const Gate g = gates::X12();
+    EXPECT_EQ(g.permute(1), 2u);
+    EXPECT_EQ(g.permute(2), 1u);
+    EXPECT_EQ(g.permute(0), 0u);
+}
+
+// Figure 3 right: X+1 = +1 mod 3, X-1 = -1 mod 3; inverses of each other.
+TEST(TernaryGates, ShiftComposition) {
+    const Matrix plus = gates::Xplus1().matrix();
+    const Matrix minus = gates::Xminus1().matrix();
+    EXPECT_TRUE((plus * minus).approx_equal(Matrix::identity(3)));
+    // X+1 = X01 X12 as products (paper Section 2).
+    const Matrix composed = gates::X01().matrix() * gates::X12().matrix();
+    EXPECT_TRUE(plus.approx_equal(composed));
+    const Matrix composed2 = gates::X12().matrix() * gates::X01().matrix();
+    EXPECT_TRUE(minus.approx_equal(composed2));
+}
+
+TEST(TernaryGates, SelfInverseSwaps) {
+    for (const Gate& g : {gates::X01(), gates::X02(), gates::X12()}) {
+        EXPECT_TRUE((g.matrix() * g.matrix())
+                        .approx_equal(Matrix::identity(3)))
+            << g.name();
+    }
+}
+
+TEST(TernaryGates, Z3Phases) {
+    const Matrix z = gates::Z3().matrix();
+    const Complex w = std::polar(1.0, 2 * kPi / 3);
+    EXPECT_NEAR(std::abs(z(1, 1) - w), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(z(2, 2) - w * w), 0.0, 1e-12);
+    // Z3^3 == I.
+    EXPECT_TRUE((z * z * z).approx_equal(Matrix::identity(3), 1e-10));
+}
+
+TEST(QubitGates, XpowHalfIsSqrtX) {
+    const Matrix v = gates::Xpow(0.5).matrix();
+    EXPECT_LT((v * v).distance(gates::X().matrix()), 1e-10);
+}
+
+TEST(QubitGates, SsquaredIsZ) {
+    const Matrix s = gates::S().matrix();
+    EXPECT_TRUE((s * s).approx_equal(gates::Z().matrix()));
+}
+
+TEST(QubitGates, TsquaredIsS) {
+    const Matrix t = gates::T().matrix();
+    EXPECT_TRUE((t * t).approx_equal(gates::S().matrix(), 1e-10));
+}
+
+TEST(QubitGates, HXHisZ) {
+    const Matrix h = gates::H().matrix();
+    EXPECT_TRUE((h * gates::X().matrix() * h)
+                    .approx_equal(gates::Z().matrix(), 1e-10));
+}
+
+TEST(QuditGates, ShiftOrder) {
+    for (int d = 2; d <= 6; ++d) {
+        Matrix acc = Matrix::identity(static_cast<std::size_t>(d));
+        const Matrix s = gates::shift(d).matrix();
+        for (int k = 0; k < d; ++k) {
+            acc = acc * s;
+        }
+        EXPECT_TRUE(acc.approx_equal(
+            Matrix::identity(static_cast<std::size_t>(d))))
+            << "d=" << d;
+    }
+}
+
+TEST(QuditGates, FourierDiagonalisesShift) {
+    for (int d = 2; d <= 5; ++d) {
+        const Matrix f = gates::fourier(d).matrix();
+        const Matrix s = gates::shift(d).matrix();
+        const Matrix diag = f.dagger() * s * f;
+        EXPECT_TRUE(diag.is_diagonal(1e-9)) << "d=" << d;
+    }
+}
+
+TEST(QuditGates, EmbedPreservesQubitBlock) {
+    const Gate h3 = gates::embed(gates::H(), 3);
+    const Matrix& m = h3.matrix();
+    EXPECT_NEAR(std::abs(m(0, 0) - Complex(1 / std::sqrt(2.0), 0)), 0, 1e-12);
+    EXPECT_NEAR(std::abs(m(2, 2) - Complex(1, 0)), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(m(2, 0)), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(m(0, 2)), 0.0, 1e-12);
+}
+
+TEST(QuditGates, EmbedIdentityWhenD2) {
+    const Gate g = gates::embed(gates::H(), 2);
+    EXPECT_TRUE(g.matrix().approx_equal(gates::H().matrix()));
+}
+
+TEST(QuditGates, EmbedRejectsMultiQubit) {
+    EXPECT_THROW(gates::embed(gates::CNOT(), 3), std::invalid_argument);
+}
+
+TEST(QuditGates, SwapLevelsValidation) {
+    EXPECT_THROW(gates::swap_levels(3, 0, 0), std::invalid_argument);
+    EXPECT_THROW(gates::swap_levels(3, 0, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qd

@@ -1,0 +1,113 @@
+#include "qdsim/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace qd {
+namespace {
+
+TEST(Matrix, ZeroInitialised) {
+    Matrix m(2, 3);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    for (std::size_t i = 0; i < 2; ++i) {
+        for (std::size_t j = 0; j < 3; ++j) {
+            EXPECT_EQ(m(i, j), Complex(0, 0));
+        }
+    }
+}
+
+TEST(Matrix, InitializerList) {
+    Matrix m{{1, 2}, {3, 4}};
+    EXPECT_EQ(m(0, 0), Complex(1, 0));
+    EXPECT_EQ(m(0, 1), Complex(2, 0));
+    EXPECT_EQ(m(1, 0), Complex(3, 0));
+    EXPECT_EQ(m(1, 1), Complex(4, 0));
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+    EXPECT_THROW((Matrix{{1, 2}, {3}}), std::invalid_argument);
+}
+
+TEST(Matrix, IdentityMultiplication) {
+    Matrix m{{1, 2}, {3, 4}};
+    EXPECT_TRUE((Matrix::identity(2) * m).approx_equal(m));
+    EXPECT_TRUE((m * Matrix::identity(2)).approx_equal(m));
+}
+
+TEST(Matrix, MultiplyKnownProduct) {
+    Matrix a{{1, 2}, {3, 4}};
+    Matrix b{{5, 6}, {7, 8}};
+    Matrix expected{{19, 22}, {43, 50}};
+    EXPECT_TRUE((a * b).approx_equal(expected));
+}
+
+TEST(Matrix, MultiplyShapeMismatchThrows) {
+    Matrix a(2, 3);
+    Matrix b(2, 3);
+    EXPECT_THROW(a * b, std::invalid_argument);
+}
+
+TEST(Matrix, DaggerConjugatesAndTransposes) {
+    Matrix m{{Complex(1, 1), Complex(0, 2)}, {Complex(3, 0), Complex(0, -4)}};
+    Matrix d = m.dagger();
+    EXPECT_EQ(d(0, 0), Complex(1, -1));
+    EXPECT_EQ(d(1, 0), Complex(0, -2));
+    EXPECT_EQ(d(0, 1), Complex(3, 0));
+    EXPECT_EQ(d(1, 1), Complex(0, 4));
+}
+
+TEST(Matrix, KronDimensionsAndValues) {
+    Matrix a{{1, 2}, {3, 4}};
+    Matrix b{{0, 1}, {1, 0}};
+    Matrix k = a.kron(b);
+    ASSERT_EQ(k.rows(), 4u);
+    ASSERT_EQ(k.cols(), 4u);
+    EXPECT_EQ(k(0, 1), Complex(1, 0));   // a00 * b01
+    EXPECT_EQ(k(1, 0), Complex(1, 0));   // a00 * b10
+    EXPECT_EQ(k(2, 1), Complex(3, 0));   // a10 * b01
+    EXPECT_EQ(k(3, 0), Complex(3, 0));   // a10 * b10
+    EXPECT_EQ(k(2, 3), Complex(4, 0));   // a11 * b01
+    EXPECT_EQ(k(0, 3), Complex(2, 0));   // a01 * b01
+}
+
+TEST(Matrix, TraceAndDistance) {
+    Matrix a{{1, 2}, {3, 4}};
+    EXPECT_EQ(a.trace(), Complex(5, 0));
+    Matrix b{{1, 2}, {3, 5}};
+    EXPECT_NEAR(a.distance(b), 1.0, 1e-12);
+}
+
+TEST(Matrix, UnitarityCheck) {
+    const Real s = 1 / std::sqrt(2.0);
+    Matrix h{{s, s}, {s, -s}};
+    EXPECT_TRUE(h.is_unitary());
+    Matrix notu{{1, 1}, {0, 1}};
+    EXPECT_FALSE(notu.is_unitary());
+    EXPECT_FALSE(Matrix(2, 3).is_unitary());
+}
+
+TEST(Matrix, ApproxEqualUpToPhase) {
+    Matrix a{{1, 0}, {0, 1}};
+    const Complex phase = std::polar(1.0, 0.7);
+    Matrix b = a * phase;
+    EXPECT_FALSE(a.approx_equal(b));
+    EXPECT_TRUE(a.approx_equal_up_to_phase(b));
+    Matrix c{{1, 0}, {0, -1}};
+    EXPECT_FALSE(a.approx_equal_up_to_phase(c));
+}
+
+TEST(Matrix, DiagonalDetection) {
+    EXPECT_TRUE(Matrix::diagonal({Complex(1, 0), Complex(0, 1)})
+                    .is_diagonal());
+    Matrix m{{1, 0.1}, {0, 1}};
+    EXPECT_FALSE(m.is_diagonal());
+}
+
+TEST(Matrix, ToStringContainsEntries) {
+    Matrix m{{1, 0}, {0, 1}};
+    const std::string s = m.to_string(2);
+    EXPECT_NE(s.find("+1.00"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qd

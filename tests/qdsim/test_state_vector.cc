@@ -1,0 +1,233 @@
+#include "qdsim/state_vector.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "qdsim/gate_library.h"
+#include "qdsim/random_state.h"
+
+namespace qd {
+namespace {
+
+TEST(StateVector, InitialState) {
+    StateVector psi(WireDims::uniform(2, 3));
+    EXPECT_EQ(psi[0], Complex(1, 0));
+    EXPECT_NEAR(psi.norm(), 1.0, 1e-12);
+}
+
+TEST(StateVector, BasisStateConstructor) {
+    StateVector psi(WireDims({2, 3}), {1, 2});
+    EXPECT_EQ(psi[5], Complex(1, 0));
+    EXPECT_EQ(psi[0], Complex(0, 0));
+}
+
+TEST(StateVector, SingleWireGateOnEachWire) {
+    // X on wire 1 of |00> over 2 qubits -> |01>
+    StateVector psi(WireDims::uniform(2, 2));
+    const int wires1[] = {1};
+    psi.apply(gates::X().matrix(), wires1);
+    EXPECT_NEAR(std::abs(psi[1]), 1.0, 1e-12);
+
+    StateVector psi2(WireDims::uniform(2, 2));
+    const int wires0[] = {0};
+    psi2.apply(gates::X().matrix(), wires0);
+    EXPECT_NEAR(std::abs(psi2[2]), 1.0, 1e-12);
+}
+
+TEST(StateVector, QutritShiftCycles) {
+    StateVector psi(WireDims::uniform(1, 3));
+    const int w[] = {0};
+    psi.apply(gates::Xplus1().matrix(), w);
+    EXPECT_NEAR(std::abs(psi[1]), 1.0, 1e-12);
+    psi.apply(gates::Xplus1().matrix(), w);
+    EXPECT_NEAR(std::abs(psi[2]), 1.0, 1e-12);
+    psi.apply(gates::Xplus1().matrix(), w);
+    EXPECT_NEAR(std::abs(psi[0]), 1.0, 1e-12);
+}
+
+TEST(StateVector, CnotWireOrderMatters) {
+    // CNOT with control on wire 1, target wire 0: |01> -> |11>.
+    StateVector psi(WireDims::uniform(2, 2), {0, 1});
+    const int wires[] = {1, 0};  // control listed first
+    psi.apply(gates::CNOT().matrix(), wires);
+    EXPECT_NEAR(std::abs(psi[3]), 1.0, 1e-12);
+}
+
+TEST(StateVector, TwoWireGateAgainstKron) {
+    // Applying (H x X) via one 2-wire op == applying H and X separately.
+    Rng rng(7);
+    StateVector psi = haar_random_state(WireDims::uniform(3, 2), rng);
+    StateVector a = psi, b = psi;
+    const Matrix hx = gates::H().matrix().kron(gates::X().matrix());
+    const int wires[] = {0, 2};
+    a.apply(hx, wires);
+    const int w0[] = {0}, w2[] = {2};
+    b.apply(gates::H().matrix(), w0);
+    b.apply(gates::X().matrix(), w2);
+    EXPECT_NEAR(a.fidelity(b), 1.0, 1e-10);
+}
+
+TEST(StateVector, MixedRadixGateApplication) {
+    // Controlled +1 on a (qubit control, qutrit target) pair.
+    const WireDims dims({2, 3});
+    StateVector psi(dims, {1, 1});
+    const Gate cshift = gates::Xplus1().controlled(2, 1);
+    const int wires[] = {0, 1};
+    psi.apply(cshift.matrix(), wires);
+    EXPECT_NEAR(std::abs(psi[dims.pack({1, 2})]), 1.0, 1e-12);
+}
+
+TEST(StateVector, ApplyDiag1MatchesGeneric) {
+    Rng rng(11);
+    StateVector psi = haar_random_state(WireDims({3, 2, 3}), rng);
+    StateVector a = psi, b = psi;
+    const std::vector<Complex> diag = {Complex(1, 0), std::polar(1.0, 0.3),
+                                       std::polar(0.9, -0.2)};
+    a.apply_diag1(diag, 2);
+    const int w[] = {2};
+    b.apply(Matrix::diagonal(diag), w);
+    for (Index i = 0; i < a.size(); ++i) {
+        EXPECT_NEAR(std::abs(a[i] - b[i]), 0.0, 1e-12);
+    }
+}
+
+TEST(StateVector, PopulationsSumToOne) {
+    Rng rng(13);
+    StateVector psi = haar_random_state(WireDims::uniform(3, 3), rng);
+    for (int w = 0; w < 3; ++w) {
+        const auto pops = psi.populations(w);
+        Real sum = 0;
+        for (const Real p : pops) {
+            sum += p;
+        }
+        EXPECT_NEAR(sum, 1.0, 1e-10);
+        for (int v = 0; v < 3; ++v) {
+            EXPECT_NEAR(pops[static_cast<std::size_t>(v)],
+                        psi.population(w, v), 1e-12);
+        }
+    }
+}
+
+TEST(StateVector, PopulationOfBasisState) {
+    StateVector psi(WireDims::uniform(3, 3), {0, 2, 1});
+    EXPECT_NEAR(psi.population(0, 0), 1.0, 1e-12);
+    EXPECT_NEAR(psi.population(1, 2), 1.0, 1e-12);
+    EXPECT_NEAR(psi.population(2, 1), 1.0, 1e-12);
+    EXPECT_NEAR(psi.population(1, 0), 0.0, 1e-12);
+}
+
+TEST(StateVector, NormalizeAfterDamping) {
+    StateVector psi(WireDims::uniform(1, 2));
+    psi[0] = Complex(0.5, 0);
+    psi[1] = Complex(0.5, 0);
+    psi.normalize();
+    EXPECT_NEAR(psi.norm(), 1.0, 1e-12);
+}
+
+TEST(StateVector, InnerProductAndFidelity) {
+    StateVector a(WireDims::uniform(1, 2));
+    StateVector b(WireDims::uniform(1, 2));
+    b[0] = Complex(0, 0);
+    b[1] = Complex(1, 0);
+    EXPECT_NEAR(std::abs(a.inner(b)), 0.0, 1e-12);
+    EXPECT_NEAR(a.fidelity(a), 1.0, 1e-12);
+    EXPECT_NEAR(a.fidelity(b), 0.0, 1e-12);
+}
+
+TEST(StateVector, ApplyRejectsWrongSize) {
+    StateVector psi(WireDims::uniform(2, 2));
+    const int w[] = {0};
+    EXPECT_THROW(psi.apply(Matrix::identity(3), w), std::invalid_argument);
+}
+
+TEST(StateVector, NonUnitaryKrausApplication) {
+    // Amplitude-damping jump operator K1 = sqrt(l) |0><1| on a qubit.
+    StateVector psi(WireDims::uniform(1, 2));
+    psi[0] = Complex(std::sqrt(0.5), 0);
+    psi[1] = Complex(std::sqrt(0.5), 0);
+    Matrix k1(2, 2);
+    k1(0, 1) = Complex(std::sqrt(0.3), 0);
+    const int w[] = {0};
+    psi.apply(k1, w);
+    EXPECT_NEAR(std::norm(psi[0]), 0.15, 1e-12);
+    EXPECT_NEAR(std::norm(psi[1]), 0.0, 1e-12);
+    psi.normalize();
+    EXPECT_NEAR(psi.population(0, 0), 1.0, 1e-12);
+}
+
+TEST(StateVector, ThreeWireGate) {
+    // CCX via one 3-wire matrix on wires (2,0,1) of |101>:
+    // controls wires 2 and 0 are both 1 -> flips wire 1.
+    StateVector psi(WireDims::uniform(3, 2), {1, 0, 1});
+    const Gate ccx = gates::CCX();
+    const int wires[] = {2, 0, 1};
+    psi.apply(ccx.matrix(), wires);
+    const WireDims dims = WireDims::uniform(3, 2);
+    EXPECT_NEAR(std::abs(psi[dims.pack({1, 1, 1})]), 1.0, 1e-12);
+}
+
+
+TEST(StateVector, ApplyProductDiagMatchesPerWire) {
+    Rng rng(77);
+    const WireDims dims({3, 2, 3, 2});
+    StateVector a = haar_random_state(dims, rng);
+    StateVector b = a;
+    std::vector<std::vector<Complex>> factors;
+    for (int w = 0; w < dims.num_wires(); ++w) {
+        std::vector<Complex> f;
+        for (int m = 0; m < dims.dim(w); ++m) {
+            f.push_back(std::polar(1.0, 0.1 * (w + 1) * m + 0.05));
+        }
+        factors.push_back(f);
+    }
+    a.apply_product_diag(factors);
+    for (int w = 0; w < dims.num_wires(); ++w) {
+        b.apply_diag1(factors[static_cast<std::size_t>(w)], w);
+    }
+    for (Index i = 0; i < a.size(); ++i) {
+        EXPECT_NEAR(std::abs(a[i] - b[i]), 0.0, 1e-10) << i;
+    }
+}
+
+TEST(StateVector, ApplyProductDiagIdentity) {
+    Rng rng(78);
+    const WireDims dims = WireDims::uniform(3, 3);
+    StateVector a = haar_random_state(dims, rng);
+    const StateVector before = a;
+    std::vector<std::vector<Complex>> factors(
+        3, std::vector<Complex>(3, Complex(1, 0)));
+    a.apply_product_diag(factors);
+    EXPECT_NEAR(a.fidelity(before), 1.0, 1e-12);
+}
+
+TEST(StateVector, ScaleByTableComputesNorm) {
+    Rng rng(79);
+    const WireDims dims = WireDims::uniform(2, 3);
+    StateVector psi = haar_random_state(dims, rng);
+    // Key: number of nonzero digits, packed as n1*(width+1)+n2 analogue;
+    // here simply digit sum as a key in [0, 4].
+    std::vector<std::uint16_t> key(dims.size());
+    for (Index i = 0; i < dims.size(); ++i) {
+        const auto d = dims.unpack(i);
+        key[i] = static_cast<std::uint16_t>(d[0] + d[1]);
+    }
+    std::vector<Real> scale = {1.0, 0.9, 0.8, 0.7, 0.6};
+    StateVector ref = psi;
+    const Real q = psi.scale_by_table(key, scale);
+    Real expect_q = 0;
+    for (Index i = 0; i < dims.size(); ++i) {
+        expect_q += std::norm(ref[i]) * scale[key[i]] * scale[key[i]];
+        EXPECT_NEAR(std::abs(psi[i] - ref[i] * scale[key[i]]), 0.0, 1e-12);
+    }
+    EXPECT_NEAR(q, expect_q, 1e-10);
+}
+
+TEST(StateVector, ScaleByTableValidatesKeySize) {
+    StateVector psi(WireDims::uniform(2, 2));
+    std::vector<std::uint16_t> key(3);
+    EXPECT_THROW(psi.scale_by_table(key, {1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qd

@@ -1,0 +1,159 @@
+/**
+ * Cross-module integration tests: constructions driven through the
+ * simulator, scheduler and noise engine together.
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "apps/arithmetic.h"
+#include "apps/grover.h"
+#include "constructions/gen_toffoli.h"
+#include "constructions/incrementer.h"
+#include "noise/models.h"
+#include "noise/trajectory.h"
+#include "qdsim/classical.h"
+#include "qdsim/gate_library.h"
+#include "qdsim/moments.h"
+#include "qdsim/random_state.h"
+#include "qdsim/simulator.h"
+
+namespace qd {
+namespace {
+
+TEST(Integration, PaperFigure2ReversibleAnd) {
+    // AND via a Toffoli with a clean ancilla (paper Figure 2), on qubits.
+    Circuit c(WireDims::uniform(3, 2));
+    c.append(gates::CCX(), {0, 1, 2});
+    for (int a = 0; a < 2; ++a) {
+        for (int b = 0; b < 2; ++b) {
+            const auto out = classical_run(c, {a, b, 0});
+            EXPECT_EQ(out[2], a & b);
+            EXPECT_EQ(out[0], a);
+            EXPECT_EQ(out[1], b);
+        }
+    }
+}
+
+TEST(Integration, QutritAndQubitConstructionsAgreeLogically) {
+    // All Table-1 constructions implement the same logical gate; check
+    // their basis-level truth tables against each other at N=5.
+    const int n = 5;
+    std::vector<ctor::GenToffoli> builds;
+    for (const auto m : ctor::all_methods()) {
+        builds.push_back(ctor::build_gen_toffoli(m, n));
+    }
+    for (int mask = 0; mask < (1 << (n + 1)); ++mask) {
+        int reference = -1;
+        for (const auto& b : builds) {
+            std::vector<int> input(
+                static_cast<std::size_t>(b.circuit.num_wires()), 0);
+            for (int w = 0; w <= n; ++w) {
+                input[static_cast<std::size_t>(w)] = (mask >> w) & 1;
+            }
+            StateVector psi(b.circuit.dims(), input);
+            apply_circuit(b.circuit, psi);
+            // Locate the target output digit.
+            Index best = 0;
+            Real best_mag = 0;
+            for (Index i = 0; i < psi.size(); ++i) {
+                if (std::norm(psi[i]) > best_mag) {
+                    best_mag = std::norm(psi[i]);
+                    best = i;
+                }
+            }
+            EXPECT_NEAR(best_mag, 1.0, 1e-6) << b.label;
+            const int out_target =
+                psi.dims().digit(best, b.target);
+            if (reference < 0) {
+                reference = out_target;
+            } else {
+                EXPECT_EQ(out_target, reference)
+                    << b.label << " mask=" << mask;
+            }
+        }
+    }
+}
+
+TEST(Integration, NoisyQutritToffoliFidelityIsSane) {
+    const auto built = ctor::build_gen_toffoli(ctor::Method::kQutrit, 5);
+    noise::TrajectoryOptions opts;
+    opts.trials = 24;
+    const auto res = noise::run_noisy_trials(built.circuit, noise::sc(),
+                                             opts);
+    EXPECT_GT(res.mean_fidelity, 0.5);  // small circuit, mild noise
+    EXPECT_LE(res.mean_fidelity, 1.0 + 1e-9);
+}
+
+TEST(Integration, QutritBeatsQubitUnderNoiseSmallWidth) {
+    // A miniature Figure 11: at 7 controls under the SC model the qutrit
+    // construction should already be clearly more reliable.
+    const int n = 7;
+    noise::TrajectoryOptions opts;
+    opts.trials = 12;
+    opts.seed = 99;
+    const auto qutrit = ctor::build_gen_toffoli(ctor::Method::kQutrit, n);
+    const auto qubit =
+        ctor::build_gen_toffoli(ctor::Method::kQubitNoAncilla, n);
+    const auto fq3 =
+        noise::run_noisy_trials(qutrit.circuit, noise::sc(), opts);
+    const auto fq2 =
+        noise::run_noisy_trials(qubit.circuit, noise::sc(), opts);
+    EXPECT_GT(fq3.mean_fidelity, fq2.mean_fidelity + 0.2);
+}
+
+TEST(Integration, IncrementerRoundTripOnSuperposition) {
+    const int n = 5;
+    const Circuit inc = ctor::build_qutrit_incrementer(n);
+    Circuit round = inc;
+    round.extend(apps::build_decrementer(n));
+    Rng rng(21);
+    const StateVector init =
+        haar_random_qubit_subspace_state(round.dims(), rng);
+    const StateVector out = simulate(round, init);
+    EXPECT_NEAR(out.fidelity(init), 1.0, 1e-8);
+}
+
+TEST(Integration, SchedulerPacksTreeLevels) {
+    // The paper's depth advantage depends on tree gates scheduling in
+    // parallel; verify moments hold multiple tree gates at N=16.
+    const auto built = ctor::build_gen_toffoli(ctor::Method::kQutrit, 16);
+    const auto moments = schedule_asap(built.circuit);
+    std::size_t max_parallel = 0;
+    for (const auto& m : moments) {
+        max_parallel = std::max(max_parallel, m.op_indices.size());
+    }
+    EXPECT_GE(max_parallel, 4u);
+}
+
+TEST(Integration, GroverWithNoiseStillFindsItem) {
+    // 3 qubits, 2 iterations, gentle noise: marked item stays the argmax.
+    const Circuit c =
+        apps::build_grover_circuit(3, 5, 2, apps::MczMethod::kQutrit);
+    auto model = noise::sc_t1_gates();
+    noise::TrajectoryOptions opts;
+    opts.trials = 10;
+    const auto res = noise::run_noisy_trials(c, model, opts);
+    EXPECT_GT(res.mean_fidelity, 0.8);
+}
+
+TEST(Integration, AddConstantMatchesRepeatedIncrement) {
+    const int n = 4;
+    const Circuit add3 = apps::build_add_constant(
+        n, 3, ctor::IncGranularity::kThreeQutrit);
+    const Circuit inc = ctor::build_qutrit_incrementer(
+        n, ctor::IncGranularity::kThreeQutrit);
+    for (int x = 0; x < 16; ++x) {
+        std::vector<int> digits(4);
+        for (int b = 0; b < 4; ++b) {
+            digits[static_cast<std::size_t>(b)] = (x >> b) & 1;
+        }
+        auto a = classical_run(add3, digits);
+        auto b = classical_run(inc, classical_run(
+            inc, classical_run(inc, digits)));
+        EXPECT_EQ(a, b) << "x=" << x;
+    }
+}
+
+}  // namespace
+}  // namespace qd
