@@ -1,0 +1,51 @@
+/**
+ * Transpiler demo: take a plain qubit circuit, lift it to qutrits, swap
+ * its Toffolis for the paper's three-gate qutrit construction (Figure 4),
+ * and clean up — watching the per-pass resource deltas.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/transpile_demo
+ */
+#include <cstdio>
+
+#include "constructions/incrementer.h"
+#include "qdsim/diagram.h"
+#include "transpile/equivalence.h"
+#include "transpile/lift.h"
+#include "transpile/pass_manager.h"
+#include "transpile/passes.h"
+
+using namespace qd;
+using namespace qd::transpile;
+
+int
+main()
+{
+    std::printf("-- a 3-bit qubit incrementer with native Toffolis --\n");
+    const Circuit qubit = ctor::build_qubit_staircase_incrementer(
+        3, /*decompose_toffoli=*/false);
+    std::printf("%s%s\n", render_diagram(qubit).c_str(),
+                qubit.summary("qubit circuit").c_str());
+
+    std::printf("\n-- transpiling: lift -> substitute -> cleanup --\n");
+    PassManager pm;
+    pm.emplace<LiftQubitsToQutrits>()
+        .emplace<SubstituteToffoli>()
+        .emplace<CancelInversePairs>()
+        .emplace<FuseSingleQuditGates>()
+        .emplace<CompactMoments>();
+    const Circuit qutrit = pm.run(qubit);
+    std::printf("%s", pm.report().c_str());
+
+    std::printf("\n-- rewritten qutrit circuit --\n");
+    std::printf("%s%s\n", render_diagram(qutrit).c_str(),
+                qutrit.summary("qutrit circuit").c_str());
+
+    const Circuit lifted = LiftQubitsToQutrits().run(qubit);
+    std::printf("\nlift preserves qubit semantics: %s\n",
+                lift_preserves_semantics(qubit, lifted) ? "yes" : "NO");
+    std::printf("rewrite preserves qubit-subspace action: %s\n",
+                equal_on_qubit_subspace(lifted, qutrit) ? "yes" : "NO");
+    return 0;
+}

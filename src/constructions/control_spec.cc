@@ -42,10 +42,13 @@ controls_to_string(const std::vector<ControlSpec>& controls, int target)
         if (i) {
             out += ", ";
         }
-        out += "q" + std::to_string(controls[i].wire) + "@" +
-               std::to_string(controls[i].value);
+        out += "q";
+        out += std::to_string(controls[i].wire);
+        out += "@";
+        out += std::to_string(controls[i].value);
     }
-    out += "} -> q" + std::to_string(target);
+    out += "} -> q";
+    out += std::to_string(target);
     return out;
 }
 

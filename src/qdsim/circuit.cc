@@ -8,23 +8,23 @@
 namespace qd {
 
 void
-Circuit::append(const Gate& gate, const std::vector<int>& wires)
+Circuit::validate_op(const Gate& gate, const std::vector<int>& wires) const
 {
     if (gate.empty()) {
-        throw std::invalid_argument("Circuit::append: empty gate");
+        throw std::invalid_argument("Circuit: empty gate");
     }
     if (static_cast<int>(wires.size()) != gate.arity()) {
-        throw std::invalid_argument("Circuit::append: wire count mismatch "
+        throw std::invalid_argument("Circuit: wire count mismatch "
                                     "for gate " + gate.name());
     }
     for (std::size_t i = 0; i < wires.size(); ++i) {
         const int w = wires[i];
         if (w < 0 || w >= dims_.num_wires()) {
-            throw std::out_of_range("Circuit::append: wire out of range");
+            throw std::out_of_range("Circuit: wire out of range");
         }
         if (dims_.dim(w) != gate.dims()[i]) {
             throw std::invalid_argument(
-                "Circuit::append: gate " + gate.name() + " operand " +
+                "Circuit: gate " + gate.name() + " operand " +
                 std::to_string(i) + " dim " +
                 std::to_string(gate.dims()[i]) + " != wire dim " +
                 std::to_string(dims_.dim(w)));
@@ -32,11 +32,144 @@ Circuit::append(const Gate& gate, const std::vector<int>& wires)
         for (std::size_t j = i + 1; j < wires.size(); ++j) {
             if (wires[j] == w) {
                 throw std::invalid_argument(
-                    "Circuit::append: duplicate wire for " + gate.name());
+                    "Circuit: duplicate wire for " + gate.name());
             }
         }
     }
+}
+
+void
+Circuit::append(const Gate& gate, const std::vector<int>& wires)
+{
+    validate_op(gate, wires);
     ops_.push_back(Operation{gate, wires});
+}
+
+void
+Circuit::erase_op(std::size_t index)
+{
+    if (index >= ops_.size()) {
+        throw std::out_of_range("Circuit::erase_op: index out of range");
+    }
+    ops_.erase(ops_.begin() + static_cast<std::ptrdiff_t>(index));
+}
+
+void
+Circuit::erase_ops(std::vector<std::size_t> indices)
+{
+    if (indices.empty()) {
+        return;
+    }
+    std::sort(indices.begin(), indices.end());
+    indices.erase(std::unique(indices.begin(), indices.end()),
+                  indices.end());
+    if (indices.back() >= ops_.size()) {
+        throw std::out_of_range("Circuit::erase_ops: index out of range");
+    }
+    std::vector<Operation> kept;
+    kept.reserve(ops_.size() - indices.size());
+    std::size_t next = 0;
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+        if (next < indices.size() && indices[next] == i) {
+            ++next;
+        } else {
+            kept.push_back(std::move(ops_[i]));
+        }
+    }
+    ops_ = std::move(kept);
+}
+
+void
+Circuit::replace_op(std::size_t index, const Gate& gate,
+                    const std::vector<int>& wires)
+{
+    if (index >= ops_.size()) {
+        throw std::out_of_range("Circuit::replace_op: index out of range");
+    }
+    validate_op(gate, wires);
+    ops_[index] = Operation{gate, wires};
+}
+
+void
+Circuit::insert_op(std::size_t index, const Gate& gate,
+                   const std::vector<int>& wires)
+{
+    if (index > ops_.size()) {
+        throw std::out_of_range("Circuit::insert_op: index out of range");
+    }
+    validate_op(gate, wires);
+    ops_.insert(ops_.begin() + static_cast<std::ptrdiff_t>(index),
+                Operation{gate, wires});
+}
+
+void
+Circuit::splice(std::size_t index, const Circuit& replacement,
+                const std::vector<int>& wire_map)
+{
+    if (index >= ops_.size()) {
+        throw std::out_of_range("Circuit::splice: index out of range");
+    }
+    if (static_cast<int>(wire_map.size()) != replacement.num_wires()) {
+        throw std::invalid_argument(
+            "Circuit::splice: wire_map size != replacement width");
+    }
+    for (std::size_t i = 0; i < wire_map.size(); ++i) {
+        if (wire_map[i] < 0 || wire_map[i] >= dims_.num_wires()) {
+            throw std::out_of_range("Circuit::splice: wire_map out of range");
+        }
+        for (std::size_t j = i + 1; j < wire_map.size(); ++j) {
+            if (wire_map[j] == wire_map[i]) {
+                throw std::invalid_argument(
+                    "Circuit::splice: duplicate wire in wire_map");
+            }
+        }
+    }
+    std::vector<Operation> expanded;
+    expanded.reserve(replacement.ops_.size());
+    for (const Operation& op : replacement.ops_) {
+        std::vector<int> wires;
+        wires.reserve(op.wires.size());
+        for (const int w : op.wires) {
+            wires.push_back(wire_map[static_cast<std::size_t>(w)]);
+        }
+        validate_op(op.gate, wires);
+        expanded.push_back(Operation{op.gate, std::move(wires)});
+    }
+    ops_.erase(ops_.begin() + static_cast<std::ptrdiff_t>(index));
+    ops_.insert(ops_.begin() + static_cast<std::ptrdiff_t>(index),
+                std::make_move_iterator(expanded.begin()),
+                std::make_move_iterator(expanded.end()));
+}
+
+Circuit
+Circuit::redimensioned(
+    const WireDims& new_dims,
+    const std::function<Gate(const Gate&)>& adapt) const
+{
+    if (new_dims.num_wires() != dims_.num_wires()) {
+        throw std::invalid_argument(
+            "Circuit::redimensioned: wire count mismatch");
+    }
+    Circuit out(new_dims);
+    out.ops_.reserve(ops_.size());
+    // Gates are flyweights: adapt each distinct payload once.
+    std::vector<std::pair<const Matrix*, Gate>> cache;
+    for (const Operation& op : ops_) {
+        const Matrix* key = &op.gate.matrix();
+        const Gate* adapted = nullptr;
+        for (const auto& [k, g] : cache) {
+            if (k == key) {
+                adapted = &g;
+                break;
+            }
+        }
+        if (adapted == nullptr) {
+            cache.emplace_back(key, adapt(op.gate));
+            adapted = &cache.back().second;
+        }
+        out.append(*adapted, op.wires);
+    }
+    return out;
 }
 
 void

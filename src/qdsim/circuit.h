@@ -6,6 +6,8 @@
 #ifndef QDSIM_CIRCUIT_H
 #define QDSIM_CIRCUIT_H
 
+#include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -44,6 +46,49 @@ class Circuit {
     /** Circuit applying the inverse operations in reverse order. */
     Circuit inverse() const;
 
+    // ------------------------------------------------- mutation (transpile)
+    //
+    // The rewriting passes in src/transpile/ edit circuits in place. All
+    // mutators validate the same invariants as append(): distinct in-range
+    // wires and gate/wire dimension agreement.
+
+    /** Removes the operation at `index`. */
+    void erase_op(std::size_t index);
+
+    /**
+     * Removes the operations at the given indices (any order, duplicates
+     * ignored). Remaining operations keep their relative order.
+     */
+    void erase_ops(std::vector<std::size_t> indices);
+
+    /** Replaces the operation at `index` with a new gate/wire binding. */
+    void replace_op(std::size_t index, const Gate& gate,
+                    const std::vector<int>& wires);
+
+    /** Inserts an operation before `index` (index == num_ops() appends). */
+    void insert_op(std::size_t index, const Gate& gate,
+                   const std::vector<int>& wires);
+
+    /**
+     * Replaces the operation at `index` with the operations of
+     * `replacement`, whose wire w is mapped to this circuit's wire
+     * `wire_map[w]`. Used by decomposition passes to splice a gate's
+     * expansion into the surrounding circuit.
+     */
+    void splice(std::size_t index, const Circuit& replacement,
+                const std::vector<int>& wire_map);
+
+    /**
+     * Rebuilds the circuit over a register with different wire dimensions.
+     * `adapt` maps each original gate to its counterpart on the new
+     * dimensions (called once per distinct gate payload; results are
+     * validated against `new_dims` on append). Wire indices are preserved.
+     * This is the hook the qubit->qutrit dimension-lifting pass uses.
+     */
+    Circuit redimensioned(
+        const WireDims& new_dims,
+        const std::function<Gate(const Gate&)>& adapt) const;
+
     /** Resource statistics used throughout the evaluation. */
     struct Stats {
         std::size_t total_gates = 0;
@@ -64,6 +109,8 @@ class Circuit {
     std::string summary(const std::string& label = "") const;
 
   private:
+    void validate_op(const Gate& gate, const std::vector<int>& wires) const;
+
     WireDims dims_;
     std::vector<Operation> ops_;
 };

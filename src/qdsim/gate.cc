@@ -110,7 +110,9 @@ Gate::controlled(const std::vector<int>& control_dims,
 
     std::string name = "C";
     for (std::size_t i = 0; i < control_values.size(); ++i) {
-        name += "[" + std::to_string(control_values[i]) + "]";
+        name += "[";
+        name += std::to_string(control_values[i]);
+        name += "]";
     }
     name += payload_->name;
 

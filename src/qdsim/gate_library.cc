@@ -176,8 +176,10 @@ swap_levels(int d, int a, int b)
     m(static_cast<std::size_t>(b), static_cast<std::size_t>(b)) = 0;
     m(static_cast<std::size_t>(a), static_cast<std::size_t>(b)) = 1;
     m(static_cast<std::size_t>(b), static_cast<std::size_t>(a)) = 1;
-    return Gate("X" + std::to_string(a) + std::to_string(b), {d},
-                std::move(m));
+    std::string name = "X";
+    name += std::to_string(a);
+    name += std::to_string(b);
+    return Gate(std::move(name), {d}, std::move(m));
 }
 
 Gate
@@ -186,8 +188,12 @@ phase_level(int d, int level, Real phi)
     Matrix m = Matrix::identity(static_cast<std::size_t>(d));
     m(static_cast<std::size_t>(level), static_cast<std::size_t>(level)) =
         std::polar(1.0, phi);
-    return Gate("P" + std::to_string(level) + "(" + std::to_string(phi) + ")",
-                {d}, std::move(m));
+    std::string name = "P";
+    name += std::to_string(level);
+    name += "(";
+    name += std::to_string(phi);
+    name += ")";
+    return Gate(std::move(name), {d}, std::move(m));
 }
 
 Gate
@@ -197,7 +203,9 @@ Zd(int d)
     for (int i = 0; i < d; ++i) {
         diag[static_cast<std::size_t>(i)] = root_of_unity(d, i);
     }
-    return Gate("Z" + std::to_string(d), {d}, Matrix::diagonal(diag));
+    std::string name = "Z";
+    name += std::to_string(d);
+    return Gate(std::move(name), {d}, Matrix::diagonal(diag));
 }
 
 Gate
@@ -211,7 +219,9 @@ fourier(int d)
                 root_of_unity(d, r * c) * s;
         }
     }
-    return Gate("H" + std::to_string(d), {d}, std::move(m));
+    std::string name = "H";
+    name += std::to_string(d);
+    return Gate(std::move(name), {d}, std::move(m));
 }
 
 Gate

@@ -1,0 +1,50 @@
+/**
+ * @file equivalence.h
+ * Semantic equivalence checks for transpiler passes.
+ *
+ * Three notions, ordered from strictest to loosest:
+ *  - equivalent_up_to_phase: equal full unitaries up to one global phase.
+ *    The contract of the unitary-preserving passes (fuse, cancel, compact).
+ *  - equal_on_qubit_subspace: equal action on every basis state whose
+ *    digits are all 0/1. The contract of SubstituteToffoli on lifted
+ *    circuits (the tree construction may differ on |2> inputs).
+ *  - lift_preserves_semantics: a lifted circuit reproduces the original
+ *    circuit's amplitudes on embedded basis states and never leaks
+ *    amplitude outside the embedded subspace. The contract of
+ *    LiftQubitsToQutrits.
+ *
+ * All three build dense unitaries / state vectors, so they are test and
+ * verification helpers for small circuits (width <= ~8 qubits or ~5
+ * qutrits), matching circuit_unitary's domain.
+ */
+#ifndef TRANSPILE_EQUIVALENCE_H
+#define TRANSPILE_EQUIVALENCE_H
+
+#include "qdsim/circuit.h"
+
+namespace qd::transpile {
+
+/** True if the circuits act on equal registers and have equal unitaries up
+ *  to a single global phase. */
+bool equivalent_up_to_phase(const Circuit& a, const Circuit& b,
+                            Real tol = kLooseTol);
+
+/**
+ * True if the circuits act on equal registers and produce identical output
+ * states (up to one shared global phase) for every basis input whose
+ * digits are all < 2 — the qubit subspace of a lifted register.
+ */
+bool equal_on_qubit_subspace(const Circuit& a, const Circuit& b,
+                             Real tol = kLooseTol);
+
+/**
+ * True if `lifted` (over lift_dims(original.dims())) reproduces `original`:
+ * simulating `lifted` from each embedded basis input yields the original's
+ * amplitude on every embedded index and zero amplitude elsewhere.
+ */
+bool lift_preserves_semantics(const Circuit& original, const Circuit& lifted,
+                              Real tol = kLooseTol);
+
+}  // namespace qd::transpile
+
+#endif  // TRANSPILE_EQUIVALENCE_H

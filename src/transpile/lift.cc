@@ -1,0 +1,94 @@
+#include "transpile/lift.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "qdsim/basis.h"
+
+namespace qd::transpile {
+
+namespace {
+
+/** True if any operand of the gate is a qubit. */
+bool
+has_qubit_operand(const Gate& gate)
+{
+    const auto& dims = gate.dims();
+    return std::find(dims.begin(), dims.end(), 2) != dims.end();
+}
+
+}  // namespace
+
+WireDims
+lift_dims(const WireDims& dims, int d)
+{
+    std::vector<int> lifted = dims.dims();
+    for (int& dim : lifted) {
+        if (dim == 2) {
+            dim = d;
+        }
+    }
+    return WireDims(std::move(lifted));
+}
+
+Gate
+lift_gate(const Gate& gate, int d)
+{
+    if (gate.empty()) {
+        throw std::invalid_argument("lift_gate: empty gate");
+    }
+    if (d < 3) {
+        throw std::invalid_argument("lift_gate: target dimension must be >= 3");
+    }
+    if (!has_qubit_operand(gate)) {
+        return gate;
+    }
+
+    const std::vector<int>& old_dims = gate.dims();
+    std::vector<int> new_dims = old_dims;
+    for (int& dim : new_dims) {
+        if (dim == 2) {
+            dim = d;
+        }
+    }
+
+    // Index arithmetic in both operand spaces via WireDims.
+    const WireDims old_space(old_dims);
+    const WireDims new_space(new_dims);
+
+    // Identity everywhere, then overwrite the embedded-subspace block with
+    // the original entries (row/column tuples whose digits all fit the old
+    // operand dimensions).
+    Matrix m = Matrix::identity(static_cast<std::size_t>(new_space.size()));
+    const Matrix& src = gate.matrix();
+    std::vector<Index> subspace;  // new-space index per old-space index
+    subspace.reserve(static_cast<std::size_t>(old_space.size()));
+    for (Index i = 0; i < old_space.size(); ++i) {
+        subspace.push_back(new_space.pack(old_space.unpack(i)));
+    }
+    for (Index r = 0; r < old_space.size(); ++r) {
+        for (Index c = 0; c < old_space.size(); ++c) {
+            m(static_cast<std::size_t>(subspace[r]),
+              static_cast<std::size_t>(subspace[c])) =
+                src(static_cast<std::size_t>(r), static_cast<std::size_t>(c));
+        }
+    }
+
+    std::string name = gate.name();
+    name += "_d";
+    name += std::to_string(d);
+    return Gate(std::move(name), std::move(new_dims), std::move(m));
+}
+
+Circuit
+LiftQubitsToQutrits::run(const Circuit& circuit) const
+{
+    const WireDims lifted = lift_dims(circuit.dims(), 3);
+    if (lifted == circuit.dims()) {
+        return circuit;  // nothing to lift
+    }
+    return circuit.redimensioned(
+        lifted, [](const Gate& g) { return lift_gate(g, 3); });
+}
+
+}  // namespace qd::transpile

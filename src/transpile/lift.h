@@ -1,0 +1,52 @@
+/**
+ * @file lift.h
+ * Qubit -> qudit dimension lifting (the CirqTrit transform, generalised).
+ *
+ * Lifting re-dimensions every qubit wire of a circuit to d levels and
+ * embeds each gate so that it applies the original action on the qubit
+ * subspace and acts as the identity on any basis state involving a level
+ * >= 2. This is how the paper runs binary logic on physically-ternary
+ * hardware, and it is the precondition for substituting the paper's qutrit
+ * Toffoli construction into a lifted circuit (SubstituteToffoli).
+ *
+ * Note: lifting is NOT ternary generalisation. A lifted CNOT fires only on
+ * control |1>; control |2> is untouched (identity), exactly matching the
+ * CirqTrit qubit->qutrit wrappers.
+ */
+#ifndef TRANSPILE_LIFT_H
+#define TRANSPILE_LIFT_H
+
+#include "transpile/pass.h"
+
+namespace qd::transpile {
+
+/** Register with every dimension-2 wire promoted to dimension `d`;
+ *  wires that are already >= 3 levels are unchanged. */
+WireDims lift_dims(const WireDims& dims, int d = 3);
+
+/**
+ * Lifts a gate to operands where every dimension-2 operand becomes
+ * dimension `d`: the matrix applies the original entries on index pairs
+ * whose digits all lie below the original operand dimensions, and the
+ * identity elsewhere. Operands that were already >= 3 levels keep their
+ * dimension (their digit range is preserved by the embedding).
+ *
+ * For single-qubit gates this coincides with gates::embed().
+ */
+Gate lift_gate(const Gate& gate, int d = 3);
+
+/**
+ * Pass: re-dimension every qubit wire of the circuit to a qutrit and lift
+ * every gate accordingly. The output circuit preserves the input's action
+ * on the qubit subspace (see equivalence.h: lift_preserves_semantics).
+ * Circuits with no qubit wires are returned unchanged.
+ */
+class LiftQubitsToQutrits : public Pass {
+  public:
+    std::string name() const override { return "lift-qubits-to-qutrits"; }
+    Circuit run(const Circuit& circuit) const override;
+};
+
+}  // namespace qd::transpile
+
+#endif  // TRANSPILE_LIFT_H

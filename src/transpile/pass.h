@@ -1,0 +1,42 @@
+/**
+ * @file pass.h
+ * Transpiler pass interface.
+ *
+ * A pass is a pure circuit-to-circuit rewrite: it consumes a Circuit and
+ * produces a semantically equivalent (or deliberately re-dimensioned)
+ * Circuit. Passes are composed by the PassManager (pass_manager.h), which
+ * records per-pass resource deltas — the paper's gate-count/depth metrics —
+ * so a pipeline's effect on Figure 9/10 numbers is observable pass by pass.
+ */
+#ifndef TRANSPILE_PASS_H
+#define TRANSPILE_PASS_H
+
+#include <string>
+
+#include "qdsim/circuit.h"
+
+namespace qd::transpile {
+
+/**
+ * Base class for circuit rewriting passes.
+ *
+ * Implementations must not mutate their input; they return a rewritten
+ * copy. A pass must preserve circuit semantics on its documented domain:
+ * most passes preserve the full unitary up to global phase, while the
+ * dimension-lifting and Toffoli-substitution passes preserve the qubit
+ * subspace action (see each pass's documentation).
+ */
+class Pass {
+  public:
+    virtual ~Pass() = default;
+
+    /** Stable identifier used in reports, e.g. "cancel-inverse-pairs". */
+    virtual std::string name() const = 0;
+
+    /** Applies the rewrite and returns the transformed circuit. */
+    virtual Circuit run(const Circuit& circuit) const = 0;
+};
+
+}  // namespace qd::transpile
+
+#endif  // TRANSPILE_PASS_H

@@ -1,0 +1,52 @@
+#include "transpile/pass_manager.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace qd::transpile {
+
+PassManager&
+PassManager::add(std::unique_ptr<Pass> pass)
+{
+    if (pass == nullptr) {
+        throw std::invalid_argument("PassManager::add: null pass");
+    }
+    passes_.push_back(std::move(pass));
+    return *this;
+}
+
+Circuit
+PassManager::run(const Circuit& circuit)
+{
+    records_.clear();
+    records_.reserve(passes_.size());
+    Circuit current = circuit;
+    for (const auto& pass : passes_) {
+        PassRecord rec;
+        rec.pass = pass->name();
+        rec.before = current.stats();
+        current = pass->run(current);
+        rec.after = current.stats();
+        records_.push_back(std::move(rec));
+    }
+    return current;
+}
+
+std::string
+PassManager::report() const
+{
+    std::string out =
+        "pass                        gates        2q     depth\n";
+    char line[128];
+    for (const PassRecord& r : records_) {
+        std::snprintf(line, sizeof(line),
+                      "%-24s %4zu->%-4zu %4zu->%-4zu %4d->%-4d\n",
+                      r.pass.c_str(), r.before.total_gates,
+                      r.after.total_gates, r.before.two_qudit,
+                      r.after.two_qudit, r.before.depth, r.after.depth);
+        out += line;
+    }
+    return out;
+}
+
+}  // namespace qd::transpile

@@ -1,0 +1,60 @@
+/**
+ * @file pass_manager.h
+ * Ordered pass pipeline with per-pass resource accounting.
+ */
+#ifndef TRANSPILE_PASS_MANAGER_H
+#define TRANSPILE_PASS_MANAGER_H
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "transpile/pass.h"
+
+namespace qd::transpile {
+
+/** Resource statistics of a circuit before and after one pass. */
+struct PassRecord {
+    std::string pass;
+    Circuit::Stats before;
+    Circuit::Stats after;
+};
+
+/**
+ * Runs an ordered list of passes over a circuit.
+ *
+ * After run(), records() holds one PassRecord per pass in execution order,
+ * so callers can attribute every gate-count/depth change to the pass that
+ * produced it (the transpiler analogue of the paper's Figures 9/10 tables).
+ */
+class PassManager {
+  public:
+    /** Appends a pass to the pipeline; returns *this for chaining. */
+    PassManager& add(std::unique_ptr<Pass> pass);
+
+    /** Constructs a pass of type P in place and appends it. */
+    template <typename P, typename... Args>
+    PassManager& emplace(Args&&... args) {
+        return add(std::make_unique<P>(std::forward<Args>(args)...));
+    }
+
+    std::size_t num_passes() const { return passes_.size(); }
+
+    /** Runs every pass in order; resets and fills records(). */
+    Circuit run(const Circuit& circuit);
+
+    /** Per-pass statistics from the most recent run(). */
+    const std::vector<PassRecord>& records() const { return records_; }
+
+    /** Multi-line table of the most recent run's per-pass deltas. */
+    std::string report() const;
+
+  private:
+    std::vector<std::unique_ptr<Pass>> passes_;
+    std::vector<PassRecord> records_;
+};
+
+}  // namespace qd::transpile
+
+#endif  // TRANSPILE_PASS_MANAGER_H

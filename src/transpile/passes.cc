@@ -1,0 +1,185 @@
+#include "transpile/passes.h"
+
+#include <cstddef>
+#include <vector>
+
+#include "constructions/qutrit_toffoli.h"
+#include "qdsim/gate_library.h"
+#include "qdsim/moments.h"
+#include "transpile/lift.h"
+
+namespace qd::transpile {
+
+namespace {
+
+/** Tolerance for identity / gate-matching tests inside passes. Rewrites
+ *  accumulate at most a handful of matrix products, so kTol would also
+ *  work; the slack guards long fusion chains. */
+constexpr Real kPassTol = 1e-9;
+
+bool
+is_identity_up_to_phase(const Matrix& m, Real tol)
+{
+    return m.approx_equal_up_to_phase(Matrix::identity(m.rows()), tol);
+}
+
+/**
+ * Peephole state shared by the fuse/cancel passes: the output op list,
+ * a tombstone flag per output op, and per-wire stacks of live output ops
+ * so "the previous gate touching these wires" is O(1) to find and to
+ * un-wind when a cancellation exposes an earlier pair.
+ */
+struct Peephole {
+    explicit Peephole(const Circuit& c)
+        : hist(static_cast<std::size_t>(c.num_wires())) {}
+
+    std::vector<Operation> out;
+    std::vector<bool> dead;
+    std::vector<std::vector<std::size_t>> hist;
+
+    /** Index of the latest live op covering ALL of `wires` as its exact
+     *  operand list, or npos. */
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+    std::size_t previous_on(const std::vector<int>& wires) const {
+        std::size_t j = npos;
+        for (const int w : wires) {
+            const auto& h = hist[static_cast<std::size_t>(w)];
+            if (h.empty()) {
+                return npos;
+            }
+            if (j == npos) {
+                j = h.back();
+            } else if (h.back() != j) {
+                return npos;
+            }
+        }
+        if (j == npos || out[j].wires != wires) {
+            return npos;
+        }
+        return j;
+    }
+
+    void push(Operation op) {
+        const std::size_t idx = out.size();
+        for (const int w : op.wires) {
+            hist[static_cast<std::size_t>(w)].push_back(idx);
+        }
+        out.push_back(std::move(op));
+        dead.push_back(false);
+    }
+
+    void kill(std::size_t idx) {
+        dead[idx] = true;
+        for (const int w : out[idx].wires) {
+            hist[static_cast<std::size_t>(w)].pop_back();
+        }
+    }
+
+    Circuit rebuild(const WireDims& dims) const {
+        Circuit c(dims);
+        for (std::size_t i = 0; i < out.size(); ++i) {
+            if (!dead[i]) {
+                c.append(out[i].gate, out[i].wires);
+            }
+        }
+        return c;
+    }
+};
+
+}  // namespace
+
+Circuit
+FuseSingleQuditGates::run(const Circuit& circuit) const
+{
+    Peephole ph(circuit);
+    for (const Operation& op : circuit.ops()) {
+        if (op.gate.arity() != 1) {
+            ph.push(op);
+            continue;
+        }
+        const std::size_t j = ph.previous_on(op.wires);
+        if (j == Peephole::npos || ph.out[j].gate.arity() != 1) {
+            ph.push(op);
+            continue;
+        }
+        // op comes after out[j], so the fused unitary is M_op * M_prev.
+        Matrix fused = op.gate.matrix() * ph.out[j].gate.matrix();
+        if (is_identity_up_to_phase(fused, kPassTol)) {
+            ph.kill(j);
+            continue;
+        }
+        std::string name = "(";
+        name += op.gate.name();
+        name += "·";
+        name += ph.out[j].gate.name();
+        name += ")";
+        ph.out[j].gate = gates::from_matrix(
+            std::move(name), op.gate.dims(), std::move(fused));
+    }
+    return ph.rebuild(circuit.dims());
+}
+
+Circuit
+CancelInversePairs::run(const Circuit& circuit) const
+{
+    Peephole ph(circuit);
+    for (const Operation& op : circuit.ops()) {
+        const std::size_t j = ph.previous_on(op.wires);
+        if (j != Peephole::npos) {
+            const Matrix prod = op.gate.matrix() * ph.out[j].gate.matrix();
+            if (is_identity_up_to_phase(prod, kPassTol)) {
+                ph.kill(j);
+                continue;
+            }
+        }
+        ph.push(op);
+    }
+    return ph.rebuild(circuit.dims());
+}
+
+Circuit
+CompactMoments::run(const Circuit& circuit) const
+{
+    Circuit out(circuit.dims());
+    for (const Moment& moment : schedule_asap(circuit)) {
+        for (const std::size_t idx : moment.op_indices) {
+            const Operation& op = circuit.ops()[idx];
+            out.append(op.gate, op.wires);
+        }
+    }
+    return out;
+}
+
+Circuit
+SubstituteToffoli::run(const Circuit& circuit) const
+{
+    const Matrix lifted_ccx = lift_gate(gates::CCX(), 3).matrix();
+
+    // The Figure 4 replacement on a standalone 3-qutrit register; spliced
+    // into each match with the match's wire binding.
+    Circuit replacement(WireDims::uniform(3, 3));
+    ctor::append_qutrit_tree_toffoli(
+        replacement, {ctor::on1(0), ctor::on1(1)}, 2,
+        gates::embed(gates::X(), 3), ctor::QutritTreeOptions{true});
+
+    Circuit out = circuit;
+    std::size_t i = 0;
+    while (i < out.num_ops()) {
+        const Operation& op = out.ops()[i];
+        const bool is_lifted_toffoli =
+            op.gate.arity() == 3 &&
+            op.gate.dims() == std::vector<int>{3, 3, 3} &&
+            op.gate.matrix().approx_equal(lifted_ccx, kPassTol);
+        if (is_lifted_toffoli) {
+            // Copy: op aliases the element splice() erases.
+            const std::vector<int> wires = op.wires;
+            out.splice(i, replacement, wires);
+            i += replacement.num_ops();
+        } else {
+            ++i;
+        }
+    }
+    return out;
+}
+
+}  // namespace qd::transpile

@@ -43,8 +43,11 @@ INSTANTIATE_TEST_SUITE_P(
                       GroverCase{4, MczMethod::kQubitNoAncilla},
                       GroverCase{5, MczMethod::kQutrit}),
     [](const ::testing::TestParamInfo<GroverCase>& info) {
-        return "n" + std::to_string(info.param.n) + "_m" +
-               std::to_string(static_cast<int>(info.param.method));
+        std::string name = "n";
+        name += std::to_string(info.param.n);
+        name += "_m";
+        name += std::to_string(static_cast<int>(info.param.method));
+        return name;
     });
 
 TEST(Grover, AllMarkedItemsWork) {

@@ -152,6 +152,114 @@ TEST(Moments, DepthMatchesMomentCount) {
 }
 
 
+TEST(CircuitMutation, EraseOpRemovesAndShifts) {
+    Circuit c = bell_pair();
+    c.erase_op(0);
+    ASSERT_EQ(c.num_ops(), 1u);
+    EXPECT_EQ(c.ops()[0].gate.name(), "C[1]X");
+    EXPECT_THROW(c.erase_op(5), std::out_of_range);
+}
+
+TEST(CircuitMutation, EraseOpsHandlesUnsortedDuplicates) {
+    Circuit c(WireDims::uniform(2, 2));
+    c.append(gates::X(), {0});
+    c.append(gates::Y(), {0});
+    c.append(gates::Z(), {0});
+    c.append(gates::H(), {1});
+    c.erase_ops({2, 0, 2});
+    ASSERT_EQ(c.num_ops(), 2u);
+    EXPECT_EQ(c.ops()[0].gate.name(), "Y");
+    EXPECT_EQ(c.ops()[1].gate.name(), "H");
+    EXPECT_THROW(c.erase_ops({7}), std::out_of_range);
+}
+
+TEST(CircuitMutation, ReplaceOpValidates) {
+    Circuit c = bell_pair();
+    c.replace_op(0, gates::X(), {1});
+    EXPECT_EQ(c.ops()[0].gate.name(), "X");
+    EXPECT_EQ(c.ops()[0].wires, (std::vector<int>{1}));
+    EXPECT_THROW(c.replace_op(0, gates::CNOT(), {0, 0}),
+                 std::invalid_argument);
+    EXPECT_THROW(c.replace_op(9, gates::X(), {0}), std::out_of_range);
+}
+
+TEST(CircuitMutation, InsertOpAtBeginAndEnd) {
+    Circuit c = bell_pair();
+    c.insert_op(0, gates::X(), {1});
+    c.insert_op(c.num_ops(), gates::Z(), {0});
+    ASSERT_EQ(c.num_ops(), 4u);
+    EXPECT_EQ(c.ops()[0].gate.name(), "X");
+    EXPECT_EQ(c.ops()[3].gate.name(), "Z");
+    EXPECT_THROW(c.insert_op(99, gates::X(), {0}), std::out_of_range);
+}
+
+TEST(CircuitMutation, SpliceMapsReplacementWires) {
+    // Replace a CCX with its 6-CNOT-network-free toy expansion on mapped
+    // wires: here just two gates to observe the wire mapping.
+    Circuit repl(WireDims::uniform(2, 2));
+    repl.append(gates::H(), {1});
+    repl.append(gates::CNOT(), {0, 1});
+
+    Circuit c(WireDims::uniform(3, 2));
+    c.append(gates::X(), {0});
+    c.append(gates::CZ(), {1, 2});
+    c.splice(1, repl, {2, 1});
+    ASSERT_EQ(c.num_ops(), 3u);
+    EXPECT_EQ(c.ops()[1].gate.name(), "H");
+    EXPECT_EQ(c.ops()[1].wires, (std::vector<int>{1}));
+    EXPECT_EQ(c.ops()[2].gate.name(), "C[1]X");
+    EXPECT_EQ(c.ops()[2].wires, (std::vector<int>{2, 1}));
+}
+
+TEST(CircuitMutation, SpliceValidatesWireMap) {
+    Circuit repl(WireDims::uniform(2, 2));
+    repl.append(gates::CNOT(), {0, 1});
+    Circuit c(WireDims::uniform(3, 2));
+    c.append(gates::CZ(), {1, 2});
+    EXPECT_THROW(c.splice(0, repl, {1}), std::invalid_argument);
+    EXPECT_THROW(c.splice(0, repl, {1, 1}), std::invalid_argument);
+    EXPECT_THROW(c.splice(7, repl, {1, 2}), std::out_of_range);
+
+    // Duplicate/out-of-range map entries must throw even when no single
+    // replacement op spans the affected wires.
+    Circuit singles(WireDims::uniform(2, 2));
+    singles.append(gates::H(), {0});
+    singles.append(gates::X(), {1});
+    EXPECT_THROW(c.splice(0, singles, {1, 1}), std::invalid_argument);
+    EXPECT_THROW(c.splice(0, singles, {0, 5}), std::out_of_range);
+}
+
+TEST(CircuitMutation, SplicePreservesSemantics) {
+    // CCX == its 6-CNOT network: splicing the network in place of the
+    // native gate keeps the unitary.
+    Circuit c(WireDims::uniform(3, 2));
+    c.append(gates::H(), {0});
+    c.append(gates::CCX(), {0, 1, 2});
+    const Matrix before = circuit_unitary(c);
+
+    Circuit network(WireDims::uniform(3, 2));
+    network.append(gates::CCX(), {0, 1, 2});
+    Circuit expanded = c;
+    expanded.splice(1, network, {0, 1, 2});
+    EXPECT_TRUE(circuit_unitary(expanded).approx_equal(before, 1e-9));
+}
+
+TEST(CircuitMutation, RedimensionedAppliesAdapter) {
+    Circuit c(WireDims::uniform(2, 2));
+    c.append(gates::H(), {0});
+    c.append(gates::H(), {1});
+    const Circuit big = c.redimensioned(
+        WireDims::uniform(2, 3),
+        [](const Gate& g) { return gates::embed(g, 3); });
+    EXPECT_EQ(big.dims(), WireDims::uniform(2, 3));
+    ASSERT_EQ(big.num_ops(), 2u);
+    EXPECT_EQ(big.ops()[0].gate.dims(), (std::vector<int>{3}));
+    EXPECT_THROW(
+        c.redimensioned(WireDims::uniform(3, 3),
+                        [](const Gate& g) { return g; }),
+        std::invalid_argument);
+}
+
 TEST(Circuit, InverseOfRandomCircuitIsUnitaryInverse) {
     // Property: for random small circuits, U(C⁻¹) U(C) == I.
     Rng rng(314);

@@ -1,0 +1,98 @@
+/**
+ * ASAP scheduler edge cases (ISSUE satellite): the transpiler's
+ * CompactMoments pass rewrites circuits in moment order and relies on
+ * these invariants of schedule_asap / circuit_depth.
+ */
+#include "qdsim/moments.h"
+
+#include <gtest/gtest.h>
+
+#include "qdsim/gate_library.h"
+
+namespace qd {
+namespace {
+
+TEST(MomentsEdge, EmptyCircuit) {
+    const Circuit c(WireDims::uniform(3, 2));
+    EXPECT_TRUE(schedule_asap(c).empty());
+    EXPECT_EQ(circuit_depth(c), 0);
+}
+
+TEST(MomentsEdge, ZeroWireCircuit) {
+    const Circuit c;
+    EXPECT_TRUE(schedule_asap(c).empty());
+    EXPECT_EQ(circuit_depth(c), 0);
+}
+
+TEST(MomentsEdge, CommutingSameWireOpsStillSerialize) {
+    // The scheduler is purely wire-based: diagonal gates on one wire
+    // commute algebraically but still occupy one moment each. The
+    // transpiler's CompactMoments pass depends on this (it never merges
+    // ops, so moment order is a stable permutation of the op list).
+    Circuit c(WireDims::uniform(2, 2));
+    c.append(gates::Z(), {0});
+    c.append(gates::S(), {0});
+    c.append(gates::T(), {0});
+    const auto moments = schedule_asap(c);
+    ASSERT_EQ(moments.size(), 3u);
+    for (const Moment& m : moments) {
+        EXPECT_EQ(m.op_indices.size(), 1u);
+        EXPECT_FALSE(m.has_multi_qudit);
+    }
+    EXPECT_EQ(circuit_depth(c), 3);
+}
+
+TEST(MomentsEdge, OverlappingMultiQuditGatesChain) {
+    Circuit c(WireDims::uniform(4, 2));
+    c.append(gates::CNOT(), {0, 1});
+    c.append(gates::CNOT(), {1, 2});  // overlaps on wire 1
+    c.append(gates::CNOT(), {2, 3});  // overlaps on wire 2
+    const auto moments = schedule_asap(c);
+    ASSERT_EQ(moments.size(), 3u);
+    for (const Moment& m : moments) {
+        EXPECT_TRUE(m.has_multi_qudit);
+    }
+}
+
+TEST(MomentsEdge, PartiallyOverlappingThreeQuditGates) {
+    Circuit c(WireDims::uniform(5, 2));
+    c.append(gates::CCX(), {0, 1, 2});
+    c.append(gates::CCX(), {2, 3, 4});  // shares wire 2: next moment
+    c.append(gates::X(), {0});          // free in moment 1
+    const auto moments = schedule_asap(c);
+    ASSERT_EQ(moments.size(), 2u);
+    EXPECT_EQ(moments[0].op_indices.size(), 1u);
+    EXPECT_EQ(moments[1].op_indices.size(), 2u);
+}
+
+TEST(MomentsEdge, SchedulePartitionsAllOps) {
+    Circuit c(WireDims::uniform(4, 2));
+    c.append(gates::H(), {0});
+    c.append(gates::CNOT(), {0, 1});
+    c.append(gates::CNOT(), {2, 3});
+    c.append(gates::H(), {3});
+    c.append(gates::CCX(), {1, 2, 3});
+    std::vector<int> seen(c.num_ops(), 0);
+    for (const Moment& m : schedule_asap(c)) {
+        for (const std::size_t idx : m.op_indices) {
+            ASSERT_LT(idx, c.num_ops());
+            ++seen[idx];
+        }
+    }
+    for (const int count : seen) {
+        EXPECT_EQ(count, 1);
+    }
+}
+
+TEST(MomentsEdge, DepthEqualsMomentCountOnMixedRadix) {
+    Circuit c(WireDims({2, 3, 2}));
+    c.append(gates::H(), {0});
+    c.append(gates::Xplus1(), {1});
+    c.append(gates::Xplus1().controlled(2, 1), {0, 1});
+    c.append(gates::H(), {2});
+    EXPECT_EQ(static_cast<std::size_t>(circuit_depth(c)),
+              schedule_asap(c).size());
+}
+
+}  // namespace
+}  // namespace qd

@@ -1,0 +1,163 @@
+#include "transpile/lift.h"
+
+#include <gtest/gtest.h>
+
+#include "qdsim/classical.h"
+#include "qdsim/gate_library.h"
+#include "qdsim/simulator.h"
+#include "transpile/equivalence.h"
+
+namespace qd::transpile {
+namespace {
+
+// ------------------------------------------------------------ lift_dims ---
+
+TEST(LiftDims, PromotesQubitWiresOnly) {
+    const WireDims lifted = lift_dims(WireDims({2, 3, 2, 4}));
+    EXPECT_EQ(lifted.dims(), (std::vector<int>{3, 3, 3, 4}));
+}
+
+TEST(LiftDims, SupportsHigherTargets) {
+    const WireDims lifted = lift_dims(WireDims({2, 2}), 4);
+    EXPECT_EQ(lifted.dims(), (std::vector<int>{4, 4}));
+}
+
+// ------------------------------------------------------------ lift_gate ---
+
+TEST(LiftGate, SingleQubitMatchesEmbed) {
+    for (const Gate& g : {gates::X(), gates::H(), gates::T()}) {
+        const Gate lifted = lift_gate(g, 3);
+        EXPECT_TRUE(lifted.matrix().approx_equal(
+            gates::embed(g, 3).matrix(), 1e-12))
+            << g.name();
+    }
+}
+
+TEST(LiftGate, LiftedCnotBlockStructure) {
+    // The CirqTrit TwoQubitGateToQutritGate layout: qubit entries land on
+    // index pairs with digits < 2; every state involving |2> is fixed.
+    const Matrix m = lift_gate(gates::CNOT(), 3).matrix();
+    ASSERT_EQ(m.rows(), 9u);
+    const WireDims space({3, 3});
+    const Matrix cnot = gates::CNOT().matrix();
+    const WireDims qubit_space({2, 2});
+    for (Index r = 0; r < 9; ++r) {
+        for (Index c = 0; c < 9; ++c) {
+            const auto rd = space.unpack(r);
+            const auto cd = space.unpack(c);
+            Complex want;
+            if (rd[0] < 2 && rd[1] < 2 && cd[0] < 2 && cd[1] < 2) {
+                want = cnot(static_cast<std::size_t>(qubit_space.pack(rd)),
+                            static_cast<std::size_t>(qubit_space.pack(cd)));
+            } else {
+                want = r == c ? Complex(1, 0) : Complex(0, 0);
+            }
+            EXPECT_NEAR(std::abs(m(static_cast<std::size_t>(r),
+                                   static_cast<std::size_t>(c)) -
+                                 want),
+                        0.0, 1e-12)
+                << "entry (" << r << "," << c << ")";
+        }
+    }
+}
+
+TEST(LiftGate, LiftedGateIsUnitary) {
+    EXPECT_TRUE(lift_gate(gates::CNOT(), 3).matrix().is_unitary());
+    EXPECT_TRUE(lift_gate(gates::CCX(), 3).matrix().is_unitary());
+    EXPECT_TRUE(lift_gate(gates::H(), 4).matrix().is_unitary());
+}
+
+TEST(LiftGate, LiftedPermutationKeepsClassicalAction) {
+    const Gate lifted = lift_gate(gates::CNOT(), 3);
+    ASSERT_TRUE(lifted.is_permutation());
+    const WireDims space({3, 3});
+    // |1,1> -> |1,0>; |2,1> untouched (control not at the qubit level |1>
+    // is outside the subspace: identity).
+    EXPECT_EQ(lifted.permute(space.pack({1, 1})), space.pack({1, 0}));
+    EXPECT_EQ(lifted.permute(space.pack({2, 1})), space.pack({2, 1}));
+    EXPECT_EQ(lifted.permute(space.pack({1, 2})), space.pack({1, 2}));
+}
+
+TEST(LiftGate, QutritOperandsPassThrough) {
+    const Gate g = gates::Xplus1();
+    const Gate lifted = lift_gate(g, 3);
+    EXPECT_TRUE(lifted.matrix().approx_equal(g.matrix(), 1e-12));
+}
+
+TEST(LiftGate, MixedDimGateLiftsOnlyQubitOperands) {
+    // |1>-controlled X+1 with a qubit control and qutrit target.
+    const Gate g = gates::Xplus1().controlled(2, 1);
+    ASSERT_EQ(g.dims(), (std::vector<int>{2, 3}));
+    const Gate lifted = lift_gate(g, 3);
+    EXPECT_EQ(lifted.dims(), (std::vector<int>{3, 3}));
+    const WireDims space({3, 3});
+    ASSERT_TRUE(lifted.is_permutation());
+    EXPECT_EQ(lifted.permute(space.pack({1, 0})), space.pack({1, 1}));
+    EXPECT_EQ(lifted.permute(space.pack({2, 0})), space.pack({2, 0}));
+}
+
+TEST(LiftGate, RejectsBadTargetDimension) {
+    EXPECT_THROW(lift_gate(gates::X(), 2), std::invalid_argument);
+}
+
+// ------------------------------------------------- LiftQubitsToQutrits ---
+
+TEST(LiftQubitsToQutrits, AllWiresBecomeQutrits) {
+    Circuit c(WireDims::uniform(3, 2));
+    c.append(gates::H(), {0});
+    c.append(gates::CNOT(), {0, 1});
+    c.append(gates::CCX(), {0, 1, 2});
+    const Circuit lifted = LiftQubitsToQutrits().run(c);
+    EXPECT_EQ(lifted.dims(), WireDims::uniform(3, 3));
+    EXPECT_EQ(lifted.num_ops(), c.num_ops());
+    for (const Operation& op : lifted.ops()) {
+        for (const int d : op.gate.dims()) {
+            EXPECT_EQ(d, 3);
+        }
+    }
+}
+
+TEST(LiftQubitsToQutrits, PreservesQubitSemantics) {
+    Circuit c(WireDims::uniform(3, 2));
+    c.append(gates::H(), {0});
+    c.append(gates::T(), {1});
+    c.append(gates::CNOT(), {0, 1});
+    c.append(gates::CCX(), {0, 1, 2});
+    c.append(gates::H(), {2});
+    const Circuit lifted = LiftQubitsToQutrits().run(c);
+    EXPECT_TRUE(lift_preserves_semantics(c, lifted));
+}
+
+TEST(LiftQubitsToQutrits, ClassicalCircuitStaysVerifiable) {
+    // A lifted permutation circuit still runs on the classical fast path,
+    // with identical binary truth table.
+    Circuit c(WireDims::uniform(3, 2));
+    c.append(gates::CCX(), {0, 1, 2});
+    c.append(gates::CNOT(), {0, 1});
+    const Circuit lifted = LiftQubitsToQutrits().run(c);
+    ASSERT_TRUE(is_classical_circuit(lifted));
+    for (int x = 0; x < 8; ++x) {
+        const std::vector<int> in = {x >> 2 & 1, x >> 1 & 1, x & 1};
+        EXPECT_EQ(classical_run(lifted, in), classical_run(c, in));
+    }
+}
+
+TEST(LiftQubitsToQutrits, PureQutritCircuitUnchanged) {
+    Circuit c(WireDims::uniform(2, 3));
+    c.append(gates::H3(), {0});
+    c.append(gates::Xplus1().controlled(3, 2), {0, 1});
+    const Circuit lifted = LiftQubitsToQutrits().run(c);
+    EXPECT_TRUE(equivalent_up_to_phase(c, lifted, 1e-10));
+}
+
+TEST(LiftQubitsToQutrits, MixedRegisterLiftsOnlyQubitWires) {
+    Circuit c(WireDims({2, 3}));
+    c.append(gates::H(), {0});
+    c.append(gates::Xplus1().controlled(2, 1), {0, 1});
+    const Circuit lifted = LiftQubitsToQutrits().run(c);
+    EXPECT_EQ(lifted.dims(), WireDims({3, 3}));
+    EXPECT_TRUE(lift_preserves_semantics(c, lifted));
+}
+
+}  // namespace
+}  // namespace qd::transpile

@@ -1,0 +1,245 @@
+#include "transpile/passes.h"
+
+#include <gtest/gtest.h>
+
+#include "qdsim/gate_library.h"
+#include "qdsim/moments.h"
+#include "qdsim/simulator.h"
+#include "transpile/equivalence.h"
+#include "transpile/lift.h"
+#include "transpile/pass_manager.h"
+
+namespace qd::transpile {
+namespace {
+
+// ------------------------------------------------------ FuseSingleQudit ---
+
+TEST(FuseSingleQuditGates, MergesAdjacentGatesOnOneWire) {
+    Circuit c(WireDims::uniform(1, 2));
+    c.append(gates::T(), {0});
+    c.append(gates::T(), {0});
+    const Circuit out = FuseSingleQuditGates().run(c);
+    ASSERT_EQ(out.num_ops(), 1u);
+    EXPECT_TRUE(out.ops()[0].gate.matrix().approx_equal(
+        gates::S().matrix(), 1e-9));
+}
+
+TEST(FuseSingleQuditGates, DropsIdentityProducts) {
+    Circuit c(WireDims::uniform(1, 2));
+    c.append(gates::H(), {0});
+    c.append(gates::H(), {0});
+    EXPECT_EQ(FuseSingleQuditGates().run(c).num_ops(), 0u);
+}
+
+TEST(FuseSingleQuditGates, DropsIdentityUpToGlobalPhase) {
+    // S·S·Z = diag(1,-1)·diag(1,-1)... actually S·S = Z, Z·Z = I; use
+    // four S gates: S^4 = diag(1, i)^4 = I.
+    Circuit c(WireDims::uniform(1, 2));
+    for (int i = 0; i < 4; ++i) {
+        c.append(gates::S(), {0});
+    }
+    EXPECT_EQ(FuseSingleQuditGates().run(c).num_ops(), 0u);
+}
+
+TEST(FuseSingleQuditGates, FusesAcrossOtherWires) {
+    Circuit c(WireDims::uniform(2, 2));
+    c.append(gates::T(), {0});
+    c.append(gates::X(), {1});  // unrelated wire does not break the run
+    c.append(gates::T(), {0});
+    const Circuit out = FuseSingleQuditGates().run(c);
+    EXPECT_EQ(out.num_ops(), 2u);
+}
+
+TEST(FuseSingleQuditGates, BlockedByMultiQuditGate) {
+    Circuit c(WireDims::uniform(2, 2));
+    c.append(gates::T(), {0});
+    c.append(gates::CNOT(), {0, 1});
+    c.append(gates::T(), {0});
+    EXPECT_EQ(FuseSingleQuditGates().run(c).num_ops(), 3u);
+}
+
+TEST(FuseSingleQuditGates, WorksOnQutritWires) {
+    Circuit c(WireDims::uniform(1, 3));
+    c.append(gates::Xplus1(), {0});
+    c.append(gates::Xplus1(), {0});
+    c.append(gates::Xplus1(), {0});  // X+1 cubed = identity
+    EXPECT_EQ(FuseSingleQuditGates().run(c).num_ops(), 0u);
+}
+
+// ----------------------------------------------------- CancelInverse ------
+
+TEST(CancelInversePairs, CancelsSelfInverseTwoQuditPair) {
+    Circuit c(WireDims::uniform(2, 2));
+    c.append(gates::CNOT(), {0, 1});
+    c.append(gates::CNOT(), {0, 1});
+    EXPECT_EQ(CancelInversePairs().run(c).num_ops(), 0u);
+}
+
+TEST(CancelInversePairs, CancelsExplicitInverse) {
+    Circuit c(WireDims::uniform(1, 3));
+    c.append(gates::Xplus1(), {0});
+    c.append(gates::Xminus1(), {0});
+    EXPECT_EQ(CancelInversePairs().run(c).num_ops(), 0u);
+}
+
+TEST(CancelInversePairs, CascadesThroughNestedPairs) {
+    // A B B† A† -> empty.
+    Circuit c(WireDims::uniform(2, 2));
+    c.append(gates::CNOT(), {0, 1});
+    c.append(gates::S(), {1});
+    c.append(gates::S().inverse(), {1});
+    c.append(gates::CNOT(), {0, 1});
+    EXPECT_EQ(CancelInversePairs().run(c).num_ops(), 0u);
+}
+
+TEST(CancelInversePairs, RequiresSameOperandOrder) {
+    // CNOT(0,1) then CNOT(1,0) act on the same wire set but are different
+    // gates; they must survive.
+    Circuit c(WireDims::uniform(2, 2));
+    c.append(gates::CNOT(), {0, 1});
+    c.append(gates::CNOT(), {1, 0});
+    EXPECT_EQ(CancelInversePairs().run(c).num_ops(), 2u);
+}
+
+TEST(CancelInversePairs, BlockedByInterveningOverlap) {
+    Circuit c(WireDims::uniform(2, 2));
+    c.append(gates::CNOT(), {0, 1});
+    c.append(gates::X(), {1});
+    c.append(gates::CNOT(), {0, 1});
+    EXPECT_EQ(CancelInversePairs().run(c).num_ops(), 3u);
+}
+
+TEST(CancelInversePairs, NotBlockedByDisjointWires) {
+    Circuit c(WireDims::uniform(3, 2));
+    c.append(gates::CNOT(), {0, 1});
+    c.append(gates::X(), {2});
+    c.append(gates::CNOT(), {0, 1});
+    EXPECT_EQ(CancelInversePairs().run(c).num_ops(), 1u);
+}
+
+// ----------------------------------------------------- CompactMoments -----
+
+TEST(CompactMoments, ReordersIntoMomentOrder) {
+    Circuit c(WireDims::uniform(4, 2));
+    c.append(gates::X(), {0});
+    c.append(gates::CNOT(), {0, 1});  // moment 1
+    c.append(gates::X(), {2});        // moment 0
+    c.append(gates::CNOT(), {2, 3});  // moment 1
+    const Circuit out = CompactMoments().run(c);
+    ASSERT_EQ(out.num_ops(), 4u);
+    // Moment 0 ops (both single-qudit) first, then moment 1.
+    EXPECT_EQ(out.ops()[0].gate.arity(), 1);
+    EXPECT_EQ(out.ops()[1].gate.arity(), 1);
+    EXPECT_EQ(out.ops()[2].gate.arity(), 2);
+    EXPECT_EQ(out.ops()[3].gate.arity(), 2);
+}
+
+TEST(CompactMoments, PreservesDepthAndMomentStructure) {
+    Circuit c(WireDims::uniform(3, 2));
+    c.append(gates::H(), {0});
+    c.append(gates::CNOT(), {0, 1});
+    c.append(gates::CNOT(), {1, 2});
+    c.append(gates::H(), {0});
+    const Circuit out = CompactMoments().run(c);
+    EXPECT_EQ(out.depth(), c.depth());
+    EXPECT_EQ(schedule_asap(out).size(), schedule_asap(c).size());
+    EXPECT_TRUE(equivalent_up_to_phase(c, out));
+}
+
+// -------------------------------------------------- SubstituteToffoli -----
+
+Circuit
+lifted_toffoli_circuit()
+{
+    Circuit c(WireDims::uniform(3, 2));
+    c.append(gates::CCX(), {0, 1, 2});
+    return LiftQubitsToQutrits().run(c);
+}
+
+TEST(SubstituteToffoli, ReplacesLiftedToffoliWithThreeTwoQutritGates) {
+    const Circuit lifted = lifted_toffoli_circuit();
+    const Circuit out = SubstituteToffoli().run(lifted);
+    const auto s = out.stats();
+    EXPECT_EQ(s.two_qudit, 3u);  // paper Figure 4
+    EXPECT_EQ(s.three_plus_qudit, 0u);
+    EXPECT_TRUE(equal_on_qubit_subspace(lifted, out));
+}
+
+TEST(SubstituteToffoli, MatchesControlledEmbeddedX) {
+    // embed(X,3) controlled on |1>,|1> is the same matrix as a lifted CCX.
+    Circuit c(WireDims::uniform(3, 3));
+    c.append(gates::embed(gates::X(), 3).controlled({3, 3}, {1, 1}),
+             {0, 1, 2});
+    const Circuit out = SubstituteToffoli().run(c);
+    EXPECT_EQ(out.stats().two_qudit, 3u);
+    EXPECT_TRUE(equal_on_qubit_subspace(c, out));
+}
+
+TEST(SubstituteToffoli, LeavesOtherGatesAlone) {
+    Circuit c(WireDims::uniform(3, 3));
+    c.append(gates::H3(), {0});
+    c.append(gates::Xplus1().controlled(3, 1), {0, 1});
+    const Circuit out = SubstituteToffoli().run(c);
+    EXPECT_EQ(out.num_ops(), 2u);
+}
+
+TEST(SubstituteToffoli, HandlesMultipleToffolis) {
+    Circuit c(WireDims::uniform(4, 2));
+    c.append(gates::CCX(), {0, 1, 2});
+    c.append(gates::CCX(), {1, 2, 3});
+    const Circuit lifted = LiftQubitsToQutrits().run(c);
+    const Circuit out = SubstituteToffoli().run(lifted);
+    EXPECT_EQ(out.stats().two_qudit, 6u);
+    EXPECT_TRUE(equal_on_qubit_subspace(lifted, out));
+}
+
+// -------------------------------------------------------- PassManager -----
+
+TEST(PassManager, RecordsPerPassDeltas) {
+    Circuit c(WireDims::uniform(2, 2));
+    c.append(gates::H(), {0});
+    c.append(gates::H(), {0});
+    c.append(gates::CNOT(), {0, 1});
+    c.append(gates::CNOT(), {0, 1});
+
+    PassManager pm;
+    pm.emplace<FuseSingleQuditGates>().emplace<CancelInversePairs>();
+    ASSERT_EQ(pm.num_passes(), 2u);
+    const Circuit out = pm.run(c);
+    EXPECT_EQ(out.num_ops(), 0u);
+
+    ASSERT_EQ(pm.records().size(), 2u);
+    EXPECT_EQ(pm.records()[0].pass, "fuse-single-qudit");
+    EXPECT_EQ(pm.records()[0].before.total_gates, 4u);
+    EXPECT_EQ(pm.records()[0].after.total_gates, 2u);
+    EXPECT_EQ(pm.records()[1].pass, "cancel-inverse-pairs");
+    EXPECT_EQ(pm.records()[1].after.total_gates, 0u);
+}
+
+TEST(PassManager, ReportMentionsPassNames) {
+    Circuit c(WireDims::uniform(1, 2));
+    c.append(gates::X(), {0});
+    PassManager pm;
+    pm.emplace<CompactMoments>();
+    pm.run(c);
+    const std::string rep = pm.report();
+    EXPECT_NE(rep.find("compact-moments"), std::string::npos);
+}
+
+TEST(PassManager, RejectsNullPass) {
+    PassManager pm;
+    EXPECT_THROW(pm.add(nullptr), std::invalid_argument);
+}
+
+TEST(PassManager, RerunResetsRecords) {
+    Circuit c(WireDims::uniform(1, 2));
+    c.append(gates::X(), {0});
+    PassManager pm;
+    pm.emplace<CompactMoments>();
+    pm.run(c);
+    pm.run(c);
+    EXPECT_EQ(pm.records().size(), 1u);
+}
+
+}  // namespace
+}  // namespace qd::transpile
