@@ -5,6 +5,9 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "constructions/gen_toffoli.h"
 #include "qdsim/classical.h"
 #include "qdsim/gate_library.h"
@@ -65,6 +68,29 @@ BM_QutritToffoliIdealSimulation(benchmark::State& state)
 BENCHMARK(BM_QutritToffoliIdealSimulation)->DenseRange(3, 9, 2);
 
 void
+BM_QutritToffoliCompiledSimulation(benchmark::State& state)
+{
+    // Compile-once / run-many: the execution engine's plans and kernels
+    // are built outside the timed loop, as the trajectory engine uses
+    // them. Compare against BM_QutritToffoliIdealSimulation, which pays
+    // compilation per run.
+    const int n_controls = static_cast<int>(state.range(0));
+    const auto built =
+        ctor::build_gen_toffoli(ctor::Method::kQutrit, n_controls);
+    const exec::CompiledCircuit compiled(built.circuit);
+    Rng rng(3);
+    const StateVector init =
+        haar_random_qubit_subspace_state(built.circuit.dims(), rng);
+    exec::ExecScratch scratch;
+    for (auto _ : state) {
+        StateVector out = init;
+        compiled.run(out, scratch);
+        benchmark::DoNotOptimize(out.amplitudes().data());
+    }
+}
+BENCHMARK(BM_QutritToffoliCompiledSimulation)->DenseRange(3, 9, 2);
+
+void
 BM_ClassicalVerificationPerInput(benchmark::State& state)
 {
     // Paper: classical inputs verified in time proportional to the width,
@@ -86,4 +112,34 @@ BENCHMARK(BM_ClassicalVerificationPerInput)->RangeMultiplier(2)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+/**
+ * Like BENCHMARK_MAIN(), but defaults --benchmark_out to
+ * BENCH_sim_scaling.json (JSON format) so every run leaves a
+ * machine-readable record and the perf trajectory accumulates. Pass your
+ * own --benchmark_out=... to override.
+ */
+int
+main(int argc, char** argv)
+{
+    std::vector<char*> args(argv, argv + argc);
+    bool has_out = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]).rfind("--benchmark_out", 0) == 0) {
+            has_out = true;
+        }
+    }
+    char out_flag[] = "--benchmark_out=BENCH_sim_scaling.json";
+    char fmt_flag[] = "--benchmark_out_format=json";
+    if (!has_out) {
+        args.push_back(out_flag);
+        args.push_back(fmt_flag);
+    }
+    int n = static_cast<int>(args.size());
+    benchmark::Initialize(&n, args.data());
+    if (benchmark::ReportUnrecognizedArguments(n, args.data())) {
+        return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "noise/channels.h"
+#include "qdsim/exec/compiled_circuit.h"
 #include "qdsim/moments.h"
 #include "qdsim/random_state.h"
 #include "qdsim/simulator.h"
@@ -14,47 +15,43 @@ namespace qd::noise {
 
 namespace {
 
-/** Cache of depolarizing channels keyed by (dims, probability). */
-class ChannelCache {
-  public:
-    const MixedUnitaryChannel& get1(int d, Real p) {
-        const auto key = std::make_pair(d, p);
-        auto it = one_.find(key);
-        if (it == one_.end()) {
-            it = one_.emplace(key, depolarizing1(d, p)).first;
-        }
-        return it->second;
-    }
-
-    const MixedUnitaryChannel& get2(int da, int db, Real p) {
-        const auto key = std::make_tuple(da, db, p);
-        auto it = two_.find(key);
-        if (it == two_.end()) {
-            it = two_.emplace(key, depolarizing2(da, db, p)).first;
-        }
-        return it->second;
-    }
-
-  private:
-    std::map<std::pair<int, Real>, MixedUnitaryChannel> one_;
-    std::map<std::tuple<int, int, Real>, MixedUnitaryChannel> two_;
+/**
+ * One precompiled error lottery: with probability `total` a uniformly
+ * chosen unitary from `unitaries` fires. Compiled once per circuit so
+ * every trajectory shot replays against the same plans.
+ */
+struct ErrorDraw {
+    Real total = 0;
+    std::vector<exec::CompiledOp> unitaries;
 };
 
 /**
- * Precomputed per-circuit state shared by all trajectories: the moment
- * schedule and, for uniform-dimension registers, a per-basis-index key
- * packing the excited-level counts (n1, n2), which lets the no-jump
- * damping operator of ALL wires apply as one table-scaled pass.
+ * Precomputed per-circuit state shared by all trajectories: the compiled
+ * circuit (specialized kernels + shared apply plans), the per-operation
+ * precompiled depolarizing error draws, the moment schedule and, for
+ * uniform-dimension registers, a per-basis-index key packing the
+ * excited-level counts (n1, n2), which lets the no-jump damping operator
+ * of ALL wires apply as one table-scaled pass.
  */
 struct EngineContext {
+    exec::CompiledCircuit compiled;
+    /** Per op index: the error lotteries drawn after that gate. Pointers
+     *  into `error_memo_`, deduplicated by (wires, probability). */
+    std::vector<std::vector<const ErrorDraw*>> errors;
     std::vector<Moment> moments;
     bool accel = false;
     int width = 0;
     int dim = 0;
     std::vector<std::uint16_t> count_key;  ///< n1 * (width+1) + n2
 
-    explicit EngineContext(const Circuit& circuit)
-        : moments(schedule_asap(circuit)) {
+    // Non-copyable: `errors` holds raw pointers into this object's
+    // error_memo_; a copy would leave them dangling into the source.
+    EngineContext(const EngineContext&) = delete;
+    EngineContext& operator=(const EngineContext&) = delete;
+
+    EngineContext(const Circuit& circuit, const NoiseModel& model)
+        : compiled(circuit), moments(schedule_asap(circuit)) {
+        build_error_draws(circuit, model);
         const WireDims& dims = circuit.dims();
         width = dims.num_wires();
         dim = dims.dim(0);
@@ -90,63 +87,100 @@ struct EngineContext {
         }
         accel = true;
     }
+
+  private:
+    /**
+     * Precompiles every depolarizing error unitary the trajectory loop can
+     * draw, sharing apply plans with the compiled circuit (an error on a
+     * gate's wires reuses that gate's offset tables). Draws are memoised
+     * by (wires, per-channel probability), so a circuit with many gates on
+     * the same wire pair compiles its channel once.
+     */
+    void build_error_draws(const Circuit& circuit, const NoiseModel& model) {
+        const WireDims& dims = circuit.dims();
+        exec::PlanCache cache(dims);
+        for (const exec::CompiledOp& op : compiled.ops()) {
+            cache.put(op.wires, op.plan);
+        }
+        auto draw_for = [&](const std::vector<int>& gate_dims, Real per,
+                            const std::vector<int>& wires)
+            -> const ErrorDraw* {
+            const auto key = std::make_pair(wires, per);
+            auto it = error_memo_.find(key);
+            if (it != error_memo_.end()) {
+                return &it->second;
+            }
+            const MixedUnitaryChannel ch =
+                gate_dims.size() == 1
+                    ? depolarizing1(gate_dims[0], per)
+                    : depolarizing2(gate_dims[0], gate_dims[1], per);
+            ErrorDraw draw;
+            draw.total = static_cast<Real>(ch.probs.size()) * per;
+            draw.unitaries.reserve(ch.unitaries.size());
+            for (const Matrix& u : ch.unitaries) {
+                draw.unitaries.push_back(exec::compile_op(
+                    dims, Gate("err", gate_dims, u), wires, &cache));
+            }
+            it = error_memo_.emplace(key, std::move(draw)).first;
+            return &it->second;
+        };
+
+        errors.resize(circuit.num_ops());
+        for (std::size_t i = 0; i < circuit.num_ops(); ++i) {
+            const Operation& op = circuit.ops()[i];
+            const int arity = op.gate.arity();
+            if (arity == 1) {
+                if (model.p1 <= 0) {
+                    continue;
+                }
+                const int d = op.gate.dims()[0];
+                errors[i].push_back(
+                    draw_for({d}, model.per_channel_1q(d), op.wires));
+                continue;
+            }
+            if (model.p2 <= 0) {
+                continue;
+            }
+            if (arity == 2) {
+                const Real per = model.per_channel_2q(op.gate.dims()[0],
+                                                      op.gate.dims()[1]);
+                errors[i].push_back(
+                    draw_for(op.gate.dims(), per, op.wires));
+                continue;
+            }
+            // Three-or-more-qudit gates: an independent two-qudit error on
+            // each adjacent operand pair (conservative count for
+            // undecomposed circuits, matching the reference engine).
+            for (std::size_t j = 0; j + 1 < op.wires.size(); j += 2) {
+                const std::vector<int> pair_dims = {op.gate.dims()[j],
+                                                    op.gate.dims()[j + 1]};
+                const std::vector<int> pair = {op.wires[j],
+                                               op.wires[j + 1]};
+                errors[i].push_back(draw_for(
+                    pair_dims,
+                    model.per_channel_2q(pair_dims[0], pair_dims[1]),
+                    pair));
+            }
+        }
+    }
+
+    /** Owns the deduplicated draws; node-based map keeps pointers stable. */
+    std::map<std::pair<std::vector<int>, Real>, ErrorDraw> error_memo_;
 };
 
-/** Draws and applies a depolarizing gate error on the operation's wires. */
+/** Draws and applies the operation's precompiled depolarizing errors. */
 void
-apply_gate_error(StateVector& psi, const Operation& op,
-                 const NoiseModel& model, ChannelCache& cache, Rng& rng)
+apply_gate_error(StateVector& psi,
+                 const std::vector<const ErrorDraw*>& draws, Rng& rng,
+                 exec::ExecScratch& scratch)
 {
-    const int arity = op.gate.arity();
-    if (arity == 1) {
-        if (model.p1 <= 0) {
-            return;
-        }
-        const int d = op.gate.dims()[0];
-        const Real per = model.per_channel_1q(d);
-        const MixedUnitaryChannel& ch = cache.get1(d, per);
-        const Real total = static_cast<Real>(ch.probs.size()) * per;
-        if (rng.uniform() >= total) {
-            return;  // no error
+    for (const ErrorDraw* e : draws) {
+        if (rng.uniform() >= e->total) {
+            continue;  // no error
         }
         const std::size_t pick = static_cast<std::size_t>(
-            rng.uniform_int(ch.unitaries.size()));
-        psi.apply(ch.unitaries[pick], std::span<const int>(op.wires));
-        return;
-    }
-    if (model.p2 <= 0) {
-        return;
-    }
-    if (arity == 2) {
-        const Real per =
-            model.per_channel_2q(op.gate.dims()[0], op.gate.dims()[1]);
-        const MixedUnitaryChannel& ch =
-            cache.get2(op.gate.dims()[0], op.gate.dims()[1], per);
-        const Real total = static_cast<Real>(ch.probs.size()) * per;
-        if (rng.uniform() >= total) {
-            return;
-        }
-        const std::size_t pick = static_cast<std::size_t>(
-            rng.uniform_int(ch.unitaries.size()));
-        psi.apply(ch.unitaries[pick], std::span<const int>(op.wires));
-        return;
-    }
-    // Three-or-more-qudit gates: apply an independent two-qudit error to
-    // each adjacent operand pair. (Benchmarked circuits are decomposed to
-    // one-/two-qudit gates; this branch keeps undecomposed circuits
-    // simulable with a conservative error count.)
-    for (std::size_t i = 0; i + 1 < op.wires.size(); i += 2) {
-        const Real per = model.per_channel_2q(op.gate.dims()[i],
-                                              op.gate.dims()[i + 1]);
-        const MixedUnitaryChannel& ch = cache.get2(
-            op.gate.dims()[i], op.gate.dims()[i + 1], per);
-        const Real total = static_cast<Real>(ch.probs.size()) * per;
-        if (rng.uniform() < total) {
-            const std::size_t pick = static_cast<std::size_t>(
-                rng.uniform_int(ch.unitaries.size()));
-            const int pair[2] = {op.wires[i], op.wires[i + 1]};
-            psi.apply(ch.unitaries[pick], std::span<const int>(pair, 2));
-        }
+            rng.uniform_int(e->unitaries.size()));
+        exec::apply_op(e->unitaries[pick], psi, scratch);
     }
 }
 
@@ -286,20 +320,19 @@ apply_idle_dephasing(StateVector& psi, const NoiseModel& model, Real dt,
     psi.apply_product_diag(factors);
 }
 
-/** One trajectory with a prebuilt context. */
+/** One trajectory against a prebuilt (compiled) context. */
 Real
-run_trajectory_with_context(const Circuit& circuit, const NoiseModel& model,
+run_trajectory_with_context(const NoiseModel& model,
                             const EngineContext& ctx,
                             const StateVector& initial,
-                            const StateVector& ideal_out, Rng& rng)
+                            const StateVector& ideal_out, Rng& rng,
+                            exec::ExecScratch& scratch)
 {
-    ChannelCache cache;
     StateVector psi = initial;
     for (const Moment& moment : ctx.moments) {
         for (const std::size_t idx : moment.op_indices) {
-            const Operation& op = circuit.ops()[idx];
-            psi.apply(op.gate.matrix(), std::span<const int>(op.wires));
-            apply_gate_error(psi, op, model, cache, rng);
+            exec::apply_op(ctx.compiled.ops()[idx], psi, scratch);
+            apply_gate_error(psi, ctx.errors[idx], rng, scratch);
         }
         const Real dt = model.moment_duration(moment.has_multi_qudit);
         if (model.has_damping()) {
@@ -323,9 +356,10 @@ run_single_trajectory(const Circuit& circuit, const NoiseModel& model,
                       const StateVector& initial,
                       const StateVector& ideal_out, Rng& rng)
 {
-    const EngineContext ctx(circuit);
-    return run_trajectory_with_context(circuit, model, ctx, initial,
-                                       ideal_out, rng);
+    const EngineContext ctx(circuit, model);
+    exec::ExecScratch scratch;
+    return run_trajectory_with_context(model, ctx, initial, ideal_out, rng,
+                                       scratch);
 }
 
 TrajectoryResult
@@ -342,12 +376,13 @@ run_noisy_trials(const Circuit& circuit, const NoiseModel& model,
     }
     threads = std::min(threads, trials);
 
-    const EngineContext ctx(circuit);
+    const EngineContext ctx(circuit, model);
     std::vector<Real> fidelities(static_cast<std::size_t>(trials), 0.0);
     std::atomic<int> next{0};
     const Rng root(options.seed);
 
     auto worker = [&]() {
+        exec::ExecScratch scratch;  // reused across this worker's trials
         for (;;) {
             const int t = next.fetch_add(1);
             if (t >= trials) {
@@ -359,10 +394,10 @@ run_noisy_trials(const Circuit& circuit, const NoiseModel& model,
                 options.qubit_subspace_inputs
                     ? haar_random_qubit_subspace_state(circuit.dims(), rng)
                     : haar_random_state(circuit.dims(), rng);
-            const StateVector ideal = simulate(circuit, initial);
+            const StateVector ideal = simulate(ctx.compiled, initial);
             fidelities[static_cast<std::size_t>(t)] =
-                run_trajectory_with_context(circuit, model, ctx, initial,
-                                            ideal, rng);
+                run_trajectory_with_context(model, ctx, initial, ideal, rng,
+                                            scratch);
         }
     };
 

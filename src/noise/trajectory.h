@@ -14,6 +14,12 @@
  * The trial's fidelity is |<psi_ideal | psi_actual>|^2; over trials the
  * mean converges to the density-matrix fidelity (validated against the
  * exact density-matrix evolution in tests).
+ *
+ * Execution: the circuit is compiled ONCE per batch (qdsim/exec/ —
+ * specialized kernels plus shared gather/scatter plans), and every
+ * depolarizing error unitary the loop can draw is precompiled against the
+ * same plans, so each of the thousands of shots replays allocation-free
+ * kernel dispatches instead of re-deriving index arithmetic per gate.
  */
 #ifndef NOISE_TRAJECTORY_H
 #define NOISE_TRAJECTORY_H

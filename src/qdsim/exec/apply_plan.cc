@@ -1,0 +1,125 @@
+#include "qdsim/exec/apply_plan.h"
+
+#include <stdexcept>
+
+namespace qd::exec {
+
+std::vector<Index>
+local_offsets(const WireDims& dims, std::span<const int> wires)
+{
+    const int k = static_cast<int>(wires.size());
+    Index block = 1;
+    for (const int w : wires) {
+        block *= static_cast<Index>(dims.dim(w));
+    }
+    // Odometer over operand digits, wires[0] most significant (matching
+    // the gate-matrix basis), accumulating the linear offset incrementally.
+    std::vector<Index> offsets(static_cast<std::size_t>(block));
+    std::vector<int> digit(static_cast<std::size_t>(k), 0);
+    Index off = 0;
+    for (Index b = 0;; ++b) {
+        offsets[static_cast<std::size_t>(b)] = off;
+        if (b + 1 >= block) {
+            break;
+        }
+        for (int i = k; i-- > 0;) {
+            const std::size_t ui = static_cast<std::size_t>(i);
+            const int w = wires[i];
+            if (++digit[ui] < dims.dim(w)) {
+                off += dims.stride(w);
+                break;
+            }
+            off -= static_cast<Index>(digit[ui] - 1) * dims.stride(w);
+            digit[ui] = 0;
+        }
+    }
+    return offsets;
+}
+
+std::shared_ptr<const ApplyPlan>
+make_apply_plan(const WireDims& dims, std::span<const int> wires)
+{
+    const int k = static_cast<int>(wires.size());
+    const int n = dims.num_wires();
+    for (int i = 0; i < k; ++i) {
+        if (wires[i] < 0 || wires[i] >= n) {
+            throw std::invalid_argument(
+                "make_apply_plan: wire index out of range");
+        }
+        for (int j = i + 1; j < k; ++j) {
+            if (wires[i] == wires[j]) {
+                throw std::invalid_argument(
+                    "make_apply_plan: duplicate wire");
+            }
+        }
+    }
+
+    auto plan = std::make_shared<ApplyPlan>();
+    for (const int w : wires) {
+        plan->block *= static_cast<Index>(dims.dim(w));
+    }
+    plan->local_offset = local_offsets(dims, wires);
+    plan->outer = dims.size() / plan->block;
+
+    // Non-operand wire geometry (least significant last), for base_of.
+    for (int w = 0; w < n; ++w) {
+        bool is_operand = false;
+        for (const int t : wires) {
+            if (t == w) {
+                is_operand = true;
+                break;
+            }
+        }
+        if (!is_operand) {
+            plan->other_dims.push_back(static_cast<Index>(dims.dim(w)));
+            plan->other_strides.push_back(dims.stride(w));
+        }
+    }
+
+    if (plan->outer > ApplyPlan::kBaseTableCap) {
+        return plan;  // large register: compute bases, don't tabulate
+    }
+    plan->base_offsets.resize(static_cast<std::size_t>(plan->outer));
+    std::vector<Index> odo(plan->other_dims.size(), 0);
+    Index base = 0;
+    for (Index step = 0;; ++step) {
+        plan->base_offsets[static_cast<std::size_t>(step)] = base;
+        if (step + 1 >= plan->outer) {
+            break;
+        }
+        for (std::size_t i = plan->other_dims.size(); i-- > 0;) {
+            if (++odo[i] < plan->other_dims[i]) {
+                base += plan->other_strides[i];
+                break;
+            }
+            base -= (odo[i] - 1) * plan->other_strides[i];
+            odo[i] = 0;
+        }
+    }
+    return plan;
+}
+
+std::shared_ptr<const ApplyPlan>
+PlanCache::get(std::span<const int> wires)
+{
+    std::vector<int> key(wires.begin(), wires.end());
+    auto it = plans_.find(key);
+    if (it == plans_.end()) {
+        it = plans_.emplace(std::move(key), make_apply_plan(dims_, wires))
+                 .first;
+    }
+    return it->second;
+}
+
+void
+PlanCache::put(std::span<const int> wires,
+               std::shared_ptr<const ApplyPlan> plan)
+{
+    if (plan == nullptr) {
+        return;
+    }
+    plans_.emplace(std::vector<int>(wires.begin(), wires.end()),
+                   std::move(plan));
+}
+
+}  // namespace qd::exec

@@ -1,0 +1,65 @@
+#include "qdsim/exec/compiled_circuit.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace qd::exec {
+
+CompiledCircuit::CompiledCircuit(const Circuit& circuit)
+    : dims_(circuit.dims())
+{
+    PlanCache cache(dims_);
+    ops_.reserve(circuit.num_ops());
+    for (const Operation& op : circuit.ops()) {
+        ops_.push_back(compile_op(dims_, op.gate, op.wires, &cache));
+        max_block_ = std::max(max_block_, op.gate.block_size());
+    }
+}
+
+void
+CompiledCircuit::run(StateVector& psi, ExecScratch& scratch) const
+{
+    if (!(psi.dims() == dims_)) {
+        throw std::invalid_argument(
+            "CompiledCircuit::run: state dims mismatch");
+    }
+    for (const CompiledOp& op : ops_) {
+        apply_op(op, psi, scratch);
+    }
+}
+
+void
+CompiledCircuit::run(StateVector& psi) const
+{
+    ExecScratch scratch;
+    run(psi, scratch);
+}
+
+CompiledCircuit::KernelCounts
+CompiledCircuit::kernel_counts() const
+{
+    KernelCounts counts;
+    for (const CompiledOp& op : ops_) {
+        switch (op.kind) {
+            case KernelKind::kPermutation:
+                ++counts.permutation;
+                break;
+            case KernelKind::kDiagonal:
+                ++counts.diagonal;
+                break;
+            case KernelKind::kSingleWireD2:
+            case KernelKind::kSingleWireD3:
+                ++counts.single_wire;
+                break;
+            case KernelKind::kControlled:
+                ++counts.controlled;
+                break;
+            case KernelKind::kDense:
+                ++counts.dense;
+                break;
+        }
+    }
+    return counts;
+}
+
+}  // namespace qd::exec

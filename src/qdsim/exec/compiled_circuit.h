@@ -1,0 +1,66 @@
+/**
+ * @file compiled_circuit.h
+ * A circuit lowered to specialized kernels, compiled once and executed many
+ * times.
+ *
+ * This is the execution-engine entry point the rest of the stack consumes:
+ * `simulate`/`apply_circuit` compile-and-run, `circuit_unitary` reuses one
+ * compilation across all basis columns, the noise trajectory engine
+ * compiles once and runs thousands of shots against the same plans, and
+ * the transpiler's equivalence checkers amortise compilation across all
+ * probed inputs.
+ */
+#ifndef QDSIM_EXEC_COMPILED_CIRCUIT_H
+#define QDSIM_EXEC_COMPILED_CIRCUIT_H
+
+#include "qdsim/circuit.h"
+#include "qdsim/exec/kernels.h"
+
+namespace qd::exec {
+
+/**
+ * An immutable sequence of compiled operations over a fixed register.
+ * Operation i corresponds to `circuit.ops()[i]`. Thread-safe to execute
+ * concurrently as long as each thread uses its own ExecScratch and state.
+ */
+class CompiledCircuit {
+  public:
+    CompiledCircuit() = default;
+
+    /** Compiles every operation, sharing offset tables between operations
+     *  on the same wires. */
+    explicit CompiledCircuit(const Circuit& circuit);
+
+    const WireDims& dims() const { return dims_; }
+    const std::vector<CompiledOp>& ops() const { return ops_; }
+    std::size_t num_ops() const { return ops_.size(); }
+
+    /** Largest gather block of any compiled op (scratch sizing hint). */
+    Index max_block() const { return max_block_; }
+
+    /** Applies all operations to `psi` in order, reusing `scratch` between
+     *  gates. `psi` must be over dims(). */
+    void run(StateVector& psi, ExecScratch& scratch) const;
+
+    /** Convenience overload with a call-local scratch. */
+    void run(StateVector& psi) const;
+
+    /** How many operations were routed to each kernel (bench/telemetry). */
+    struct KernelCounts {
+        std::size_t permutation = 0;
+        std::size_t diagonal = 0;
+        std::size_t single_wire = 0;
+        std::size_t controlled = 0;
+        std::size_t dense = 0;
+    };
+    KernelCounts kernel_counts() const;
+
+  private:
+    WireDims dims_;
+    std::vector<CompiledOp> ops_;
+    Index max_block_ = 0;
+};
+
+}  // namespace qd::exec
+
+#endif  // QDSIM_EXEC_COMPILED_CIRCUIT_H

@@ -1,0 +1,398 @@
+#include "qdsim/exec/kernels.h"
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace qd::exec {
+
+namespace {
+
+/** Outer-block count above which kernels parallelise with OpenMP. High
+ *  enough that trajectory-sized registers stay serial (their parallelism
+ *  is across shots, not inside one gate). */
+constexpr Index kParallelOuter = Index{1} << 13;
+
+/** Builds the non-trivial cycles of the gate's local permutation, composed
+ *  with the plan's local offsets so the kernel walks state offsets
+ *  directly. */
+void
+build_cycles(const Gate& gate, const ApplyPlan& plan,
+             std::vector<Index>& offsets, std::vector<std::uint32_t>& lengths)
+{
+    const Index block = plan.block;
+    std::vector<bool> seen(static_cast<std::size_t>(block), false);
+    for (Index start = 0; start < block; ++start) {
+        if (seen[static_cast<std::size_t>(start)] ||
+            gate.permute(start) == start) {
+            continue;
+        }
+        std::uint32_t len = 0;
+        Index b = start;
+        do {
+            seen[static_cast<std::size_t>(b)] = true;
+            offsets.push_back(plan.local_offset[static_cast<std::size_t>(b)]);
+            ++len;
+            b = gate.permute(b);
+        } while (b != start);
+        lengths.push_back(len);
+    }
+}
+
+void
+run_permutation(const CompiledOp& op, Complex* amps)
+{
+    const ApplyPlan& plan = *op.plan;
+    const std::int64_t nouter =
+        static_cast<std::int64_t>(plan.outer_count());
+    const Index* cyc = op.cycle_offsets.data();
+    const std::uint32_t* lens = op.cycle_lengths.data();
+    const std::size_t ncycles = op.cycle_lengths.size();
+    auto do_block = [&](Index base) {
+        const Index* c = cyc;
+        for (std::size_t j = 0; j < ncycles; ++j) {
+            const std::uint32_t len = lens[j];
+            Complex tmp = amps[base + c[len - 1]];
+            for (std::uint32_t i = len - 1; i >= 1; --i) {
+                amps[base + c[i]] = amps[base + c[i - 1]];
+            }
+            amps[base + c[0]] = tmp;
+            c += len;
+        }
+    };
+#ifdef _OPENMP
+    if (nouter >= static_cast<std::int64_t>(kParallelOuter)) {
+#pragma omp parallel for schedule(static)
+        for (std::int64_t o = 0; o < nouter; ++o) {
+            do_block(plan.base_of(static_cast<Index>(o)));
+        }
+        return;
+    }
+#endif
+    for (std::int64_t o = 0; o < nouter; ++o) {
+        do_block(plan.base_of(static_cast<Index>(o)));
+    }
+}
+
+void
+run_diagonal(const CompiledOp& op, Complex* amps)
+{
+    const ApplyPlan& plan = *op.plan;
+    const Index* off = plan.local_offset.data();
+    const Complex* diag = op.diag.data();
+    const Index block = plan.block;
+    const std::int64_t nouter =
+        static_cast<std::int64_t>(plan.outer_count());
+    auto do_block = [&](Index base) {
+        for (Index b = 0; b < block; ++b) {
+            amps[base + off[b]] *= diag[b];
+        }
+    };
+#ifdef _OPENMP
+    if (nouter >= static_cast<std::int64_t>(kParallelOuter)) {
+#pragma omp parallel for schedule(static)
+        for (std::int64_t o = 0; o < nouter; ++o) {
+            do_block(plan.base_of(static_cast<Index>(o)));
+        }
+        return;
+    }
+#endif
+    for (std::int64_t o = 0; o < nouter; ++o) {
+        do_block(plan.base_of(static_cast<Index>(o)));
+    }
+}
+
+void
+run_single_d2(const CompiledOp& op, Complex* amps, Index total)
+{
+    const Complex u00 = op.u[0], u01 = op.u[1];
+    const Complex u10 = op.u[2], u11 = op.u[3];
+    const Index stride = op.stride1, period = op.period1;
+    const std::int64_t nchunks = static_cast<std::int64_t>(total / period);
+    auto do_chunk = [&](Index start) {
+        Complex* p = amps + start;
+        for (Index i = 0; i < stride; ++i) {
+            const Complex a0 = p[i];
+            const Complex a1 = p[i + stride];
+            p[i] = u00 * a0 + u01 * a1;
+            p[i + stride] = u10 * a0 + u11 * a1;
+        }
+    };
+#ifdef _OPENMP
+    if (nchunks >= static_cast<std::int64_t>(kParallelOuter)) {
+#pragma omp parallel for schedule(static)
+        for (std::int64_t c = 0; c < nchunks; ++c) {
+            do_chunk(static_cast<Index>(c) * period);
+        }
+        return;
+    }
+#endif
+    for (std::int64_t c = 0; c < nchunks; ++c) {
+        do_chunk(static_cast<Index>(c) * period);
+    }
+}
+
+void
+run_single_d3(const CompiledOp& op, Complex* amps, Index total)
+{
+    const Complex u00 = op.u[0], u01 = op.u[1], u02 = op.u[2];
+    const Complex u10 = op.u[3], u11 = op.u[4], u12 = op.u[5];
+    const Complex u20 = op.u[6], u21 = op.u[7], u22 = op.u[8];
+    const Index stride = op.stride1, period = op.period1;
+    const std::int64_t nchunks = static_cast<std::int64_t>(total / period);
+    auto do_chunk = [&](Index start) {
+        Complex* p = amps + start;
+        for (Index i = 0; i < stride; ++i) {
+            const Complex a0 = p[i];
+            const Complex a1 = p[i + stride];
+            const Complex a2 = p[i + 2 * stride];
+            p[i] = u00 * a0 + u01 * a1 + u02 * a2;
+            p[i + stride] = u10 * a0 + u11 * a1 + u12 * a2;
+            p[i + 2 * stride] = u20 * a0 + u21 * a1 + u22 * a2;
+        }
+    };
+#ifdef _OPENMP
+    if (nchunks >= static_cast<std::int64_t>(kParallelOuter)) {
+#pragma omp parallel for schedule(static)
+        for (std::int64_t c = 0; c < nchunks; ++c) {
+            do_chunk(static_cast<Index>(c) * period);
+        }
+        return;
+    }
+#endif
+    for (std::int64_t c = 0; c < nchunks; ++c) {
+        do_chunk(static_cast<Index>(c) * period);
+    }
+}
+
+void
+run_controlled(const CompiledOp& op, Complex* amps, ExecScratch& scratch)
+{
+    const ApplyPlan& plan = *op.plan;
+    const std::int64_t nouter =
+        static_cast<std::int64_t>(plan.outer_count());
+    const Index* off = op.inner_offset.data();
+    const Index nb = static_cast<Index>(op.inner_offset.size());
+    const Complex* m = op.inner.data().data();
+    const Index ctrl = op.ctrl_offset;
+    auto do_block = [&](Index base, Complex* in, Complex* out) {
+        const Index cbase = base + ctrl;
+        for (Index b = 0; b < nb; ++b) {
+            in[b] = amps[cbase + off[b]];
+        }
+        for (Index r = 0; r < nb; ++r) {
+            const Complex* row = m + r * nb;
+            Complex acc(0, 0);
+            for (Index c = 0; c < nb; ++c) {
+                acc += row[c] * in[c];
+            }
+            out[r] = acc;
+        }
+        for (Index b = 0; b < nb; ++b) {
+            amps[cbase + off[b]] = out[b];
+        }
+    };
+#ifdef _OPENMP
+    if (nouter >= static_cast<std::int64_t>(kParallelOuter)) {
+#pragma omp parallel
+        {
+            std::vector<Complex> in(static_cast<std::size_t>(nb));
+            std::vector<Complex> out(static_cast<std::size_t>(nb));
+#pragma omp for schedule(static)
+            for (std::int64_t o = 0; o < nouter; ++o) {
+                do_block(plan.base_of(static_cast<Index>(o)), in.data(),
+                         out.data());
+            }
+        }
+        return;
+    }
+#endif
+    if (scratch.in.size() < static_cast<std::size_t>(nb)) {
+        scratch.in.resize(static_cast<std::size_t>(nb));
+        scratch.out.resize(static_cast<std::size_t>(nb));
+    }
+    for (std::int64_t o = 0; o < nouter; ++o) {
+        do_block(plan.base_of(static_cast<Index>(o)), scratch.in.data(),
+                 scratch.out.data());
+    }
+}
+
+void
+run_dense(const CompiledOp& op, Complex* amps, ExecScratch& scratch)
+{
+    const ApplyPlan& plan = *op.plan;
+    const std::int64_t nouter =
+        static_cast<std::int64_t>(plan.outer_count());
+    const Index* off = plan.local_offset.data();
+    const Index block = plan.block;
+    const Complex* m = op.gate.matrix().data().data();
+    auto do_block = [&](Index base, Complex* in, Complex* out) {
+        for (Index b = 0; b < block; ++b) {
+            in[b] = amps[base + off[b]];
+        }
+        for (Index r = 0; r < block; ++r) {
+            const Complex* row = m + r * block;
+            Complex acc(0, 0);
+            for (Index c = 0; c < block; ++c) {
+                acc += row[c] * in[c];
+            }
+            out[r] = acc;
+        }
+        for (Index b = 0; b < block; ++b) {
+            amps[base + off[b]] = out[b];
+        }
+    };
+#ifdef _OPENMP
+    if (nouter >= static_cast<std::int64_t>(kParallelOuter)) {
+#pragma omp parallel
+        {
+            std::vector<Complex> in(static_cast<std::size_t>(block));
+            std::vector<Complex> out(static_cast<std::size_t>(block));
+#pragma omp for schedule(static)
+            for (std::int64_t o = 0; o < nouter; ++o) {
+                do_block(plan.base_of(static_cast<Index>(o)), in.data(),
+                         out.data());
+            }
+        }
+        return;
+    }
+#endif
+    if (scratch.in.size() < static_cast<std::size_t>(block)) {
+        scratch.in.resize(static_cast<std::size_t>(block));
+        scratch.out.resize(static_cast<std::size_t>(block));
+    }
+    for (std::int64_t o = 0; o < nouter; ++o) {
+        do_block(plan.base_of(static_cast<Index>(o)), scratch.in.data(),
+                 scratch.out.data());
+    }
+}
+
+}  // namespace
+
+const char*
+kernel_name(KernelKind kind)
+{
+    switch (kind) {
+        case KernelKind::kPermutation:
+            return "permutation";
+        case KernelKind::kDiagonal:
+            return "diagonal";
+        case KernelKind::kSingleWireD2:
+            return "single_wire_d2";
+        case KernelKind::kSingleWireD3:
+            return "single_wire_d3";
+        case KernelKind::kControlled:
+            return "controlled";
+        case KernelKind::kDense:
+            return "dense";
+    }
+    return "unknown";
+}
+
+CompiledOp
+compile_op(const WireDims& dims, const Gate& gate,
+           std::span<const int> wires, PlanCache* cache)
+{
+    if (gate.empty()) {
+        throw std::invalid_argument("compile_op: empty gate");
+    }
+    if (static_cast<int>(wires.size()) != gate.arity()) {
+        throw std::invalid_argument("compile_op: wire count != gate arity");
+    }
+    for (int i = 0; i < gate.arity(); ++i) {
+        const int w = wires[i];
+        if (w < 0 || w >= dims.num_wires()) {
+            throw std::invalid_argument("compile_op: wire out of range");
+        }
+        if (gate.dims()[static_cast<std::size_t>(i)] != dims.dim(w)) {
+            throw std::invalid_argument(
+                "compile_op: operand/wire dimension mismatch");
+        }
+    }
+
+    CompiledOp op;
+    op.gate = gate;
+    op.wires.assign(wires.begin(), wires.end());
+
+    // Single-wire unrolled kernels need no offset tables at all.
+    if (gate.arity() == 1 && !gate.is_permutation() &&
+        !gate.is_diagonal_gate() &&
+        (dims.dim(wires[0]) == 2 || dims.dim(wires[0]) == 3)) {
+        const int d = dims.dim(wires[0]);
+        op.kind = d == 2 ? KernelKind::kSingleWireD2
+                         : KernelKind::kSingleWireD3;
+        const Matrix& m = gate.matrix();
+        for (int r = 0; r < d; ++r) {
+            for (int c = 0; c < d; ++c) {
+                op.u[r * d + c] = m(static_cast<std::size_t>(r),
+                                    static_cast<std::size_t>(c));
+            }
+        }
+        op.stride1 = dims.stride(wires[0]);
+        op.period1 = op.stride1 * static_cast<Index>(d);
+        return op;
+    }
+
+    op.plan = cache != nullptr ? cache->get(wires)
+                               : make_apply_plan(dims, wires);
+    if (gate.is_permutation()) {
+        op.kind = KernelKind::kPermutation;
+        build_cycles(gate, *op.plan, op.cycle_offsets, op.cycle_lengths);
+        return op;
+    }
+    if (gate.is_diagonal_gate()) {
+        op.kind = KernelKind::kDiagonal;
+        op.diag.resize(static_cast<std::size_t>(op.plan->block));
+        for (Index b = 0; b < op.plan->block; ++b) {
+            op.diag[static_cast<std::size_t>(b)] =
+                gate.matrix()(static_cast<std::size_t>(b),
+                              static_cast<std::size_t>(b));
+        }
+        return op;
+    }
+    if (gate.has_controlled_structure()) {
+        const ControlledStructure& cs = gate.controlled_structure();
+        op.kind = KernelKind::kControlled;
+        for (int i = 0; i < cs.num_controls; ++i) {
+            op.ctrl_offset +=
+                static_cast<Index>(
+                    cs.control_values[static_cast<std::size_t>(i)]) *
+                dims.stride(wires[i]);
+        }
+        // Offsets of the trailing (target) operands, target 0 most
+        // significant, matching the inner-matrix basis.
+        op.inner_offset = local_offsets(
+            dims, wires.subspan(static_cast<std::size_t>(cs.num_controls)));
+        op.inner = cs.inner;
+        return op;
+    }
+    op.kind = KernelKind::kDense;
+    return op;
+}
+
+void
+apply_op(const CompiledOp& op, StateVector& psi, ExecScratch& scratch)
+{
+    Complex* amps = psi.amplitudes().data();
+    switch (op.kind) {
+        case KernelKind::kPermutation:
+            run_permutation(op, amps);
+            return;
+        case KernelKind::kDiagonal:
+            run_diagonal(op, amps);
+            return;
+        case KernelKind::kSingleWireD2:
+            run_single_d2(op, amps, psi.size());
+            return;
+        case KernelKind::kSingleWireD3:
+            run_single_d3(op, amps, psi.size());
+            return;
+        case KernelKind::kControlled:
+            run_controlled(op, amps, scratch);
+            return;
+        case KernelKind::kDense:
+            run_dense(op, amps, scratch);
+            return;
+    }
+}
+
+}  // namespace qd::exec

@@ -1,0 +1,110 @@
+/**
+ * @file kernels.h
+ * Specialized gate-application kernels and the per-operation dispatcher.
+ *
+ * `compile_op` inspects the gate's cached structure (permutation action,
+ * diagonality, controlled-subspace split — all derived once at Gate
+ * construction) and its geometry, and routes it to the cheapest kernel:
+ *
+ *  - kPermutation: pure index remap along precomputed cycles; zero complex
+ *    multiplies. Covers X/CX/Toffoli-family gates of any arity.
+ *  - kDiagonal: in-place scale by the diagonal; any arity.
+ *  - kSingleWireD2 / kSingleWireD3: fully unrolled dense 2x2 / 3x3 kernels
+ *    walking the state in contiguous runs (no offset tables at all).
+ *  - kControlled: touches only the `d^N / d^c` amplitudes where the `c`
+ *    control operands hold their activation values, applying the inner
+ *    dense operator there.
+ *  - kDense: generic gather/multiply/scatter against precomputed offsets —
+ *    the fallback, and the shape every other kernel is property-tested
+ *    against (via StateVector::apply, the reference implementation).
+ *
+ * All kernels are allocation-free and div/mod-free in their inner loops;
+ * the dense/permutation/diagonal/controlled outer loops go parallel via
+ * OpenMP when the register is large enough (blocks are disjoint by
+ * construction).
+ */
+#ifndef QDSIM_EXEC_KERNELS_H
+#define QDSIM_EXEC_KERNELS_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "qdsim/exec/apply_plan.h"
+#include "qdsim/gate.h"
+#include "qdsim/state_vector.h"
+
+namespace qd::exec {
+
+/** Which specialized kernel a compiled operation runs on. */
+enum class KernelKind : std::uint8_t {
+    kPermutation,
+    kDiagonal,
+    kSingleWireD2,
+    kSingleWireD3,
+    kControlled,
+    kDense,
+};
+
+/** Human-readable kernel name (bench/test logging). */
+const char* kernel_name(KernelKind kind);
+
+/** Reusable gather/scatter buffers; one per executing thread. Kernels never
+ *  allocate once the scratch has grown to the circuit's largest block. */
+struct ExecScratch {
+    std::vector<Complex> in, out;
+};
+
+/**
+ * One operation compiled against a fixed register: the chosen kernel plus
+ * the precomputed data it consumes. Immutable after compile_op; safe to
+ * share across threads (each thread brings its own ExecScratch).
+ */
+struct CompiledOp {
+    KernelKind kind = KernelKind::kDense;
+    /** Original gate; keeps the matrix payload alive for kDense. */
+    Gate gate;
+    std::vector<int> wires;
+    /** Offset tables; null for the single-wire unrolled kernels. */
+    std::shared_ptr<const ApplyPlan> plan;
+
+    // kPermutation: concatenated non-trivial cycles of local offsets
+    // (already composed with the plan's local_offset table).
+    std::vector<Index> cycle_offsets;
+    std::vector<std::uint32_t> cycle_lengths;
+
+    // kDiagonal: the matrix diagonal, local-block order.
+    std::vector<Complex> diag;
+
+    // kSingleWireD2 / kSingleWireD3: row-major unitary entries and the
+    // wire's run geometry (see StateVector::apply_diag1 for the layout).
+    Complex u[9] = {};
+    Index stride1 = 0;
+    Index period1 = 0;
+
+    // kControlled: fixed offset selecting the active control digits, the
+    // target-block offsets relative to base + ctrl_offset, and the inner
+    // dense operator.
+    Index ctrl_offset = 0;
+    std::vector<Index> inner_offset;
+    Matrix inner;
+};
+
+/**
+ * Compiles one (gate, wires) application site against `dims`, choosing the
+ * kernel from the gate's cached structure. `cache` (optional) shares
+ * ApplyPlans between operations on the same wires.
+ *
+ * @throws std::invalid_argument on wire/dimension mismatches (same
+ *         contract as Circuit::append / StateVector::apply).
+ */
+CompiledOp compile_op(const WireDims& dims, const Gate& gate,
+                      std::span<const int> wires, PlanCache* cache = nullptr);
+
+/** Executes a compiled operation in place. `psi` must be over the dims the
+ *  op was compiled for. */
+void apply_op(const CompiledOp& op, StateVector& psi, ExecScratch& scratch);
+
+}  // namespace qd::exec
+
+#endif  // QDSIM_EXEC_KERNELS_H

@@ -38,6 +38,74 @@ derive_permutation(const Matrix& m)
     return perm;
 }
 
+/**
+ * Attempts to read `m` as identity-except-one-control-subspace: for some
+ * split after the first `c` operands, the matrix is block diagonal in the
+ * control index with identity blocks everywhere except a single active
+ * block. Prefers the largest working `c` (smallest active subspace).
+ */
+std::optional<ControlledStructure>
+derive_controlled_structure(const Matrix& m, const std::vector<int>& dims)
+{
+    const int k = static_cast<int>(dims.size());
+    const std::size_t block = m.rows();
+    for (int c = k - 1; c >= 1; --c) {
+        std::size_t ctrl_block = 1;
+        for (int i = 0; i < c; ++i) {
+            ctrl_block *= static_cast<std::size_t>(dims[static_cast<
+                std::size_t>(i)]);
+        }
+        const std::size_t inner = block / ctrl_block;
+        bool ok = true;
+        std::size_t active = ctrl_block;  // sentinel: none found yet
+        for (std::size_t r = 0; ok && r < block; ++r) {
+            for (std::size_t col = 0; col < block; ++col) {
+                const std::size_t p = r / inner, q = col / inner;
+                const Complex v = m(r, col);
+                if (p != q) {
+                    if (std::abs(v) > kTol) {
+                        ok = false;
+                        break;
+                    }
+                    continue;
+                }
+                const Complex expect =
+                    r == col ? Complex(1, 0) : Complex(0, 0);
+                if (std::abs(v - expect) > kTol) {
+                    if (active == ctrl_block) {
+                        active = p;
+                    } else if (active != p) {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+        }
+        if (!ok || active == ctrl_block) {
+            continue;  // no such split, or the gate is the identity
+        }
+        ControlledStructure cs;
+        cs.num_controls = c;
+        cs.control_values.resize(static_cast<std::size_t>(c));
+        std::size_t rem = active;
+        for (int i = c; i-- > 0;) {
+            const std::size_t d =
+                static_cast<std::size_t>(dims[static_cast<std::size_t>(i)]);
+            cs.control_values[static_cast<std::size_t>(i)] =
+                static_cast<int>(rem % d);
+            rem /= d;
+        }
+        cs.inner = Matrix(inner, inner);
+        for (std::size_t r = 0; r < inner; ++r) {
+            for (std::size_t col = 0; col < inner; ++col) {
+                cs.inner(r, col) = m(active * inner + r, active * inner + col);
+            }
+        }
+        return cs;
+    }
+    return std::nullopt;
+}
+
 }  // namespace
 
 Gate::Gate(std::string name, std::vector<int> dims, Matrix matrix) {
@@ -57,6 +125,9 @@ Gate::Gate(std::string name, std::vector<int> dims, Matrix matrix) {
     p->dims = std::move(dims);
     p->diagonal = matrix.is_diagonal();
     p->perm = derive_permutation(matrix);
+    if (!p->perm && !p->diagonal && p->dims.size() >= 2) {
+        p->ctrl = derive_controlled_structure(matrix, p->dims);
+    }
     p->matrix = std::move(matrix);
     payload_ = std::move(p);
 }

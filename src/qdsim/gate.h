@@ -22,6 +22,21 @@
 namespace qd {
 
 /**
+ * Structure of a gate that acts as an inner operator on its trailing
+ * operands iff each of the first `num_controls` operands holds a fixed
+ * activation value, and as the identity otherwise. Detected from the matrix
+ * at construction; the execution engine's controlled-subspace kernel uses
+ * it to touch only the amplitudes where the controls are active.
+ */
+struct ControlledStructure {
+    int num_controls = 0;
+    /** Activation level of each leading (control) operand. */
+    std::vector<int> control_values;
+    /** The operator applied to the trailing operands when active. */
+    Matrix inner;
+};
+
+/**
  * A k-local gate on operands with given dimensions.
  *
  * Gates have value semantics but share an immutable payload, so copies are
@@ -67,6 +82,22 @@ class Gate {
     /** True if the matrix is diagonal (phase-only gates). */
     bool is_diagonal_gate() const { return payload_->diagonal; }
 
+    /**
+     * True if the matrix was recognised as identity-except-one-control-
+     * subspace (see ControlledStructure). Only derived for non-permutation,
+     * non-diagonal gates of arity >= 2, where the specialized kernels
+     * cannot already exploit a cheaper structure.
+     */
+    bool has_controlled_structure() const {
+        return payload_->ctrl.has_value();
+    }
+
+    /** Cached controlled structure; only valid if
+     *  has_controlled_structure(). */
+    const ControlledStructure& controlled_structure() const {
+        return *payload_->ctrl;
+    }
+
     /** Gate with the adjoint unitary. */
     Gate inverse() const;
 
@@ -92,6 +123,7 @@ class Gate {
         Matrix matrix;
         std::optional<std::vector<Index>> perm;
         bool diagonal = false;
+        std::optional<ControlledStructure> ctrl;
     };
 
     std::shared_ptr<const Payload> payload_;

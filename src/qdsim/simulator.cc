@@ -1,41 +1,62 @@
 #include "qdsim/simulator.h"
 
+#include <algorithm>
+
 namespace qd {
 
 void
 apply_circuit(const Circuit& circuit, StateVector& psi)
 {
-    for (const Operation& op : circuit.ops()) {
-        psi.apply(op.gate.matrix(), op.wires);
-    }
+    exec::CompiledCircuit(circuit).run(psi);
 }
 
 StateVector
 simulate(const Circuit& circuit)
 {
-    StateVector psi(circuit.dims());
-    apply_circuit(circuit, psi);
-    return psi;
+    return simulate(exec::CompiledCircuit(circuit));
 }
 
 StateVector
 simulate(const Circuit& circuit, const StateVector& initial)
 {
+    return simulate(exec::CompiledCircuit(circuit), initial);
+}
+
+StateVector
+simulate(const exec::CompiledCircuit& compiled)
+{
+    StateVector psi(compiled.dims());
+    compiled.run(psi);
+    return psi;
+}
+
+StateVector
+simulate(const exec::CompiledCircuit& compiled, const StateVector& initial)
+{
     StateVector psi = initial;
-    apply_circuit(circuit, psi);
+    compiled.run(psi);
     return psi;
 }
 
 Matrix
 circuit_unitary(const Circuit& circuit)
 {
-    const Index n = circuit.dims().size();
+    return circuit_unitary(exec::CompiledCircuit(circuit));
+}
+
+Matrix
+circuit_unitary(const exec::CompiledCircuit& compiled)
+{
+    const Index n = compiled.dims().size();
     Matrix u(n, n);
+    exec::ExecScratch scratch;
+    StateVector psi(compiled.dims());
     for (Index col = 0; col < n; ++col) {
-        StateVector psi(circuit.dims());
-        psi[0] = Complex(0, 0);
+        // Reset the reusable state to basis column `col` in place.
+        std::fill(psi.amplitudes().begin(), psi.amplitudes().end(),
+                  Complex(0, 0));
         psi[col] = Complex(1, 0);
-        apply_circuit(circuit, psi);
+        compiled.run(psi, scratch);
         for (Index row = 0; row < n; ++row) {
             u(row, col) = psi[row];
         }

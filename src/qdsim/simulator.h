@@ -1,17 +1,22 @@
 /**
  * @file simulator.h
  * Ideal (noise-free) state-vector simulation and small-circuit unitary
- * extraction.
+ * extraction, routed through the compiled execution engine (exec/):
+ * circuits are lowered to specialized kernels once and the resulting plans
+ * are reused across runs, basis columns, and (in the noise engine) shots.
  */
 #ifndef QDSIM_SIMULATOR_H
 #define QDSIM_SIMULATOR_H
 
 #include "qdsim/circuit.h"
+#include "qdsim/exec/compiled_circuit.h"
 #include "qdsim/state_vector.h"
 
 namespace qd {
 
-/** Applies every operation of the circuit to `psi` in order (in place). */
+/** Applies every operation of the circuit to `psi` in order (in place).
+ *  Compiles the circuit first; callers applying the same circuit to many
+ *  states should compile once with exec::CompiledCircuit and run() it. */
 void apply_circuit(const Circuit& circuit, StateVector& psi);
 
 /** Convenience: simulate from |0...0>. */
@@ -20,12 +25,22 @@ StateVector simulate(const Circuit& circuit);
 /** Convenience: simulate from a copy of the given initial state. */
 StateVector simulate(const Circuit& circuit, const StateVector& initial);
 
+/** Simulates a precompiled circuit from |0...0>. */
+StateVector simulate(const exec::CompiledCircuit& compiled);
+
+/** Simulates a precompiled circuit from a copy of `initial`. */
+StateVector simulate(const exec::CompiledCircuit& compiled,
+                     const StateVector& initial);
+
 /**
- * Full circuit unitary, built by simulating each basis column. Exponential
- * in width; intended for verification of small circuits (width <= ~8 qubits
- * / ~5 qutrits).
+ * Full circuit unitary, built by simulating each basis column against one
+ * shared compilation. Exponential in width; intended for verification of
+ * small circuits (width <= ~8 qubits / ~5 qutrits).
  */
 Matrix circuit_unitary(const Circuit& circuit);
+
+/** Unitary of an already-compiled circuit (column-reusing overload). */
+Matrix circuit_unitary(const exec::CompiledCircuit& compiled);
 
 }  // namespace qd
 

@@ -19,6 +19,18 @@ void
 StateVector::apply(const Matrix& op, std::span<const int> wires)
 {
     const int k = static_cast<int>(wires.size());
+    for (int i = 0; i < k; ++i) {
+        if (wires[i] < 0 || wires[i] >= dims_.num_wires()) {
+            throw std::invalid_argument(
+                "StateVector::apply: wire index out of range");
+        }
+        for (int j = i + 1; j < k; ++j) {
+            if (wires[i] == wires[j]) {
+                throw std::invalid_argument(
+                    "StateVector::apply: duplicate wire");
+            }
+        }
+    }
     // Block size = product of operand dims.
     Index block = 1;
     for (const int w : wires) {

@@ -48,6 +48,9 @@ class StateVector {
      * @param op    A (prod dims of wires) square matrix in the basis ordered
      *              with wires[0] as the most significant digit.
      * @param wires Distinct wire indices the operator acts on.
+     * @throws std::invalid_argument if the operator size does not match the
+     *         operand dims, or if wires are out of range or not distinct
+     *         (a duplicate wire would silently corrupt the state).
      */
     void apply(const Matrix& op, std::span<const int> wires);
 

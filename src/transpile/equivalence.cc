@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "qdsim/exec/compiled_circuit.h"
 #include "qdsim/simulator.h"
 #include "qdsim/state_vector.h"
 #include "transpile/lift.h"
@@ -28,15 +29,18 @@ qubit_subspace_inputs(const WireDims& dims)
     return inputs;
 }
 
-/** Output states for the given basis inputs, packed as matrix columns. */
+/** Output states for the given basis inputs, packed as matrix columns.
+ *  Compiles the circuit once and reuses the plans for every input. */
 Matrix
 transfer_matrix(const Circuit& c,
                 const std::vector<std::vector<int>>& inputs)
 {
+    const exec::CompiledCircuit compiled(c);
+    exec::ExecScratch scratch;
     Matrix t(static_cast<std::size_t>(c.dims().size()), inputs.size());
     for (std::size_t col = 0; col < inputs.size(); ++col) {
         StateVector psi(c.dims(), inputs[col]);
-        apply_circuit(c, psi);
+        compiled.run(psi, scratch);
         for (Index r = 0; r < psi.size(); ++r) {
             t(static_cast<std::size_t>(r), col) = psi[r];
         }
@@ -76,12 +80,15 @@ lift_preserves_semantics(const Circuit& original, const Circuit& lifted,
     }
     const WireDims& small = original.dims();
     const WireDims& big = lifted.dims();
+    const exec::CompiledCircuit compiled_original(original);
+    const exec::CompiledCircuit compiled_lifted(lifted);
+    exec::ExecScratch scratch;
     for (Index in = 0; in < small.size(); ++in) {
         const std::vector<int> digits = small.unpack(in);
         StateVector ref(small, digits);
-        apply_circuit(original, ref);
+        compiled_original.run(ref, scratch);
         StateVector up(big, digits);
-        apply_circuit(lifted, up);
+        compiled_lifted.run(up, scratch);
         // Embedded indices must carry the original amplitudes; everything
         // else must stay empty (lifting never populates level 2).
         std::vector<bool> embedded(static_cast<std::size_t>(big.size()),

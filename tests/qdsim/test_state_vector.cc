@@ -141,6 +141,26 @@ TEST(StateVector, ApplyRejectsWrongSize) {
     EXPECT_THROW(psi.apply(Matrix::identity(3), w), std::invalid_argument);
 }
 
+TEST(StateVector, ApplyRejectsDuplicateWires) {
+    // Regression: a duplicate wire used to silently corrupt the state (the
+    // gather/scatter offsets collide); it must be rejected up front.
+    StateVector psi(WireDims::uniform(2, 2));
+    const int w[] = {0, 0};
+    EXPECT_THROW(psi.apply(gates::CNOT().matrix(), w),
+                 std::invalid_argument);
+    EXPECT_NEAR(psi.norm(), 1.0, 1e-12);  // state untouched
+}
+
+TEST(StateVector, ApplyRejectsOutOfRangeWire) {
+    StateVector psi(WireDims::uniform(2, 2));
+    const int neg[] = {-1};
+    EXPECT_THROW(psi.apply(gates::X().matrix(), neg),
+                 std::invalid_argument);
+    const int big[] = {2};
+    EXPECT_THROW(psi.apply(gates::X().matrix(), big),
+                 std::invalid_argument);
+}
+
 TEST(StateVector, NonUnitaryKrausApplication) {
     // Amplitude-damping jump operator K1 = sqrt(l) |0><1| on a qubit.
     StateVector psi(WireDims::uniform(1, 2));
