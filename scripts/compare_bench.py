@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Compare BENCH_*.json results against the checked-in baselines.
+
+Usage: compare_bench.py [--tolerance FRAC] [--results DIR] [--baselines DIR]
+
+Only machine-independent throughput ratios are compared (the "speedup"
+of a compiled path over its reference path measured in the SAME run on
+the SAME machine); raw millisecond numbers vary with the runner and are
+uploaded as artifacts but never gated on. The check fails (exit 1) when
+a tracked metric falls more than --tolerance (default 25%) below its
+baseline — i.e. the compiled fast path lost ground against the
+reference implementation.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# file -> list of higher-is-better ratio metrics to gate on.
+TRACKED = {
+    "BENCH_exec.json": ["speedup"],
+    "BENCH_density.json": ["speedup"],
+}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional regression (default 0.25)")
+    parser.add_argument("--results", default=".",
+                        help="directory holding freshly produced BENCH_*.json")
+    parser.add_argument("--baselines", default="bench/baselines",
+                        help="directory holding checked-in baselines")
+    args = parser.parse_args()
+
+    failures = []
+    checked = 0
+    for name, metrics in sorted(TRACKED.items()):
+        result_path = os.path.join(args.results, name)
+        baseline_path = os.path.join(args.baselines, name)
+        if not os.path.exists(baseline_path):
+            print(f"[skip] {name}: no baseline checked in")
+            continue
+        if not os.path.exists(result_path):
+            failures.append(f"{name}: benchmark result missing "
+                            f"(expected at {result_path})")
+            continue
+        with open(result_path) as f:
+            result = json.load(f)
+        with open(baseline_path) as f:
+            baseline = json.load(f)
+        for metric in metrics:
+            if metric not in baseline:
+                print(f"[skip] {name}:{metric}: not in baseline")
+                continue
+            if metric not in result:
+                failures.append(f"{name}:{metric}: missing from result")
+                continue
+            base = float(baseline[metric])
+            got = float(result[metric])
+            floor = base * (1.0 - args.tolerance)
+            status = "ok" if got >= floor else "REGRESSION"
+            print(f"[{status}] {name}:{metric}: {got:.3f} "
+                  f"(baseline {base:.3f}, floor {floor:.3f})")
+            checked += 1
+            if got < floor:
+                failures.append(
+                    f"{name}:{metric} regressed to {got:.3f}; baseline "
+                    f"{base:.3f} allows no less than {floor:.3f}")
+
+    if failures:
+        print("\nbenchmark regression check FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nbenchmark regression check passed ({checked} metrics)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,16 +1,35 @@
 #include "noise/density_matrix.h"
 
 #include <cmath>
+#include <map>
 #include <stdexcept>
+#include <utility>
 
 #include "noise/channels.h"
+#include "noise/error_placement.h"
 #include "qdsim/moments.h"
 #include "qdsim/simulator.h"
 
 namespace qd::noise {
 
+CompiledChannel
+compile_channel(const WireDims& dims, const KrausChannel& channel,
+                std::span<const int> wires, exec::PlanCache* cache)
+{
+    // Even without a caller-provided cache, the channel's operators share
+    // one set of tables among themselves.
+    exec::PlanCache local(dims);
+    exec::PlanCache* use = cache != nullptr ? cache : &local;
+    CompiledChannel out;
+    out.kraus.reserve(channel.operators.size());
+    for (const Matrix& k : channel.operators) {
+        out.kraus.push_back(exec::compile_superop(dims, k, wires, use));
+    }
+    return out;
+}
+
 DensityMatrix::DensityMatrix(const StateVector& psi)
-    : dims_(psi.dims()), rho_(psi.size(), psi.size()) {
+    : dims_(psi.dims()), rho_(psi.size(), psi.size()), cache_(dims_) {
     for (Index r = 0; r < psi.size(); ++r) {
         for (Index c = 0; c < psi.size(); ++c) {
             rho_(r, c) = psi[r] * std::conj(psi[c]);
@@ -20,6 +39,15 @@ DensityMatrix::DensityMatrix(const StateVector& psi)
 
 DensityMatrix::DensityMatrix(WireDims dims, const std::vector<int>& digits)
     : DensityMatrix(StateVector(std::move(dims), digits)) {}
+
+DensityMatrix::DensityMatrix(WireDims dims, Matrix rho)
+    : dims_(std::move(dims)), rho_(std::move(rho)), cache_(dims_) {
+    if (static_cast<Index>(rho_.rows()) != dims_.size() ||
+        static_cast<Index>(rho_.cols()) != dims_.size()) {
+        throw std::invalid_argument(
+            "DensityMatrix: rho size does not match register dims");
+    }
+}
 
 Matrix
 DensityMatrix::expand(const Matrix& op, std::span<const int> wires) const
@@ -63,13 +91,60 @@ DensityMatrix::expand(const Matrix& op, std::span<const int> wires) const
 void
 DensityMatrix::apply_unitary(const Matrix& u, std::span<const int> wires)
 {
-    const Matrix full = expand(u, wires);
-    rho_ = full * rho_ * full.dagger();
+    apply(exec::compile_superop(dims_, u, wires, &cache_));
 }
 
 void
 DensityMatrix::apply_channel(const KrausChannel& channel,
                              std::span<const int> wires)
+{
+    apply(compile_channel(dims_, channel, wires, &cache_));
+}
+
+void
+DensityMatrix::apply(const exec::CompiledSuperOp& op)
+{
+    exec::superop_conjugate(op, rho_, scratch_);
+}
+
+void
+DensityMatrix::apply(const CompiledChannel& channel)
+{
+    if (channel.kraus.empty()) {
+        throw std::invalid_argument("DensityMatrix::apply: empty channel");
+    }
+    if (channel.kraus.size() == 1) {
+        exec::superop_conjugate(channel.kraus[0], rho_, scratch_);
+        return;
+    }
+    if (acc_.rows() != rho_.rows()) {
+        acc_ = Matrix(rho_.rows(), rho_.cols());
+    } else {
+        acc_.data().assign(acc_.data().size(), Complex(0, 0));
+    }
+    for (const exec::CompiledSuperOp& k : channel.kraus) {
+        tmp_ = rho_;
+        exec::superop_conjugate(k, tmp_, scratch_);
+        const std::vector<Complex>& src = tmp_.data();
+        std::vector<Complex>& dst = acc_.data();
+        for (std::size_t i = 0; i < dst.size(); ++i) {
+            dst[i] += src[i];
+        }
+    }
+    std::swap(rho_, acc_);
+}
+
+void
+DensityMatrix::apply_unitary_dense(const Matrix& u,
+                                   std::span<const int> wires)
+{
+    const Matrix full = expand(u, wires);
+    rho_ = full * rho_ * full.dagger();
+}
+
+void
+DensityMatrix::apply_channel_dense(const KrausChannel& channel,
+                                   std::span<const int> wires)
 {
     Matrix acc(rho_.rows(), rho_.cols());
     for (const Matrix& k : channel.operators) {
@@ -124,41 +199,83 @@ density_matrix_fidelity(const Circuit& circuit, const NoiseModel& model,
     const StateVector ideal = simulate(circuit, initial);
     DensityMatrix dm(initial);
     Matrix& rho = dm.mutable_rho();
+    const WireDims& dims = circuit.dims();
+    exec::PlanCache& cache = dm.plan_cache();
+
+    // Compile every gate once, sharing plans across ops on the same wires.
+    std::vector<exec::CompiledSuperOp> gate_ops;
+    gate_ops.reserve(circuit.num_ops());
+    for (const Operation& op : circuit.ops()) {
+        gate_ops.push_back(
+            exec::compile_superop(dims, op.gate, op.wires, &cache));
+    }
+
+    // Gate-error channels: same placement as the trajectory engine,
+    // compiled once per (wires, per-channel probability).
+    const auto sites = enumerate_error_sites(circuit, model);
+    std::map<std::pair<std::vector<int>, Real>, CompiledChannel>
+        channel_memo;
+    std::vector<std::vector<const CompiledChannel*>> op_channels(
+        circuit.num_ops());
+    for (std::size_t i = 0; i < sites.size(); ++i) {
+        for (const ErrorSite& site : sites[i]) {
+            const auto key = std::make_pair(site.wires, site.per_channel);
+            auto it = channel_memo.find(key);
+            if (it == channel_memo.end()) {
+                const MixedUnitaryChannel ch =
+                    site.dims.size() == 1
+                        ? depolarizing1(site.dims[0], site.per_channel)
+                        : depolarizing2(site.dims[0], site.dims[1],
+                                        site.per_channel);
+                std::size_t block = 1;
+                for (const int d : site.dims) {
+                    block *= static_cast<std::size_t>(d);
+                }
+                it = channel_memo
+                         .emplace(key, compile_channel(dims,
+                                                       ch.to_kraus(block),
+                                                       site.wires, &cache))
+                         .first;
+            }
+            op_channels[i].push_back(&it->second);
+        }
+    }
+
+    // Per-wire damping channels: dt depends only on the moment type, so
+    // at most two compiled variants exist per wire.
+    std::map<std::pair<int, Real>, CompiledChannel> damping_memo;
+    auto damping_for = [&](int wire, Real dt) -> const CompiledChannel& {
+        const auto key = std::make_pair(wire, dt);
+        auto it = damping_memo.find(key);
+        if (it == damping_memo.end()) {
+            const int d = dims.dim(wire);
+            std::vector<Real> lambdas;
+            for (int m = 1; m < d; ++m) {
+                lambdas.push_back(model.lambda(m, dt));
+            }
+            const int wires[1] = {wire};
+            it = damping_memo
+                     .emplace(key,
+                              compile_channel(
+                                  dims, amplitude_damping(d, lambdas),
+                                  std::span<const int>(wires, 1), &cache))
+                     .first;
+        }
+        return it->second;
+    };
 
     const auto moments = schedule_asap(circuit);
     for (const Moment& moment : moments) {
         for (const std::size_t idx : moment.op_indices) {
-            const Operation& op = circuit.ops()[idx];
-            dm.apply_unitary(op.gate.matrix(),
-                             std::span<const int>(op.wires));
-            // Gate error channel.
-            if (op.gate.arity() == 1 && model.p1 > 0) {
-                const auto ch = depolarizing1(
-                    op.gate.dims()[0],
-                    model.per_channel_1q(op.gate.dims()[0]));
-                dm.apply_channel(
-                    ch.to_kraus(static_cast<std::size_t>(op.gate.dims()[0])),
-                    std::span<const int>(op.wires));
-            } else if (op.gate.arity() == 2 && model.p2 > 0) {
-                const auto ch = depolarizing2(
-                    op.gate.dims()[0], op.gate.dims()[1],
-                    model.per_channel_2q(op.gate.dims()[0],
-                                         op.gate.dims()[1]));
-                dm.apply_channel(ch.to_kraus(op.gate.block_size()),
-                                 std::span<const int>(op.wires));
+            dm.apply(gate_ops[idx]);
+            for (const CompiledChannel* ch : op_channels[idx]) {
+                dm.apply(*ch);
             }
         }
         const Real dt = model.moment_duration(moment.has_multi_qudit);
         for (int w = 0; w < circuit.num_wires(); ++w) {
-            const int d = circuit.dims().dim(w);
             if (model.has_damping()) {
-                std::vector<Real> lambdas;
-                for (int m = 1; m < d; ++m) {
-                    lambdas.push_back(model.lambda(m, dt));
-                }
-                const int wire[1] = {w};
-                dm.apply_channel(amplitude_damping(d, lambdas),
-                                 std::span<const int>(wire, 1));
+                dm.apply(damping_for(w, dt));
             }
             if (model.has_dephasing()) {
                 apply_gaussian_dephasing(dm, rho, w,

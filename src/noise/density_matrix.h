@@ -1,13 +1,18 @@
 /**
  * @file density_matrix.h
- * Exact density-matrix evolution for small registers.
+ * Exact density-matrix evolution, running on the compiled superoperator
+ * engine.
  *
  * The paper (Section 6.2) notes that the quantum-trajectory method
  * converges to full density-matrix simulation over repeated trials. This
  * module provides that reference implementation so tests can quantify the
- * convergence. It is exponentially more expensive than the trajectory
- * engine (d^N x d^N storage) and is intended for registers of at most a
- * few wires.
+ * convergence. Storage is still d^N x d^N, but operators are applied
+ * through exec::CompiledSuperOp — two strided block passes over rho at
+ * O(D^2 * b) per operator instead of the dense-kron O(D^3) — so exact
+ * noise studies on mid-size registers share the trajectory engine's
+ * compiled fast path (and its ApplyPlan offset tables). The old dense
+ * path survives as apply_*_dense, the reference oracle the compiled path
+ * is property-tested against.
  */
 #ifndef NOISE_DENSITY_MATRIX_H
 #define NOISE_DENSITY_MATRIX_H
@@ -17,9 +22,30 @@
 #include "noise/kraus.h"
 #include "noise/noise_model.h"
 #include "qdsim/circuit.h"
+#include "qdsim/exec/superop.h"
 #include "qdsim/state_vector.h"
 
 namespace qd::noise {
+
+/**
+ * A Kraus channel compiled once per (channel, wires, dims): every operator
+ * lowered to its cheapest superoperator kernel, all sharing one ApplyPlan.
+ * Immutable after compile_channel; reusable across moments and across
+ * DensityMatrix instances over the same register.
+ */
+struct CompiledChannel {
+    std::vector<exec::CompiledSuperOp> kraus;
+};
+
+/**
+ * Compiles `channel` for application to the given wires of a register.
+ * `cache` (optional) shares offset tables with other operators on the
+ * same wires.
+ */
+CompiledChannel compile_channel(const WireDims& dims,
+                                const KrausChannel& channel,
+                                std::span<const int> wires,
+                                exec::PlanCache* cache = nullptr);
 
 /** Density matrix over a mixed-radix register. */
 class DensityMatrix {
@@ -30,17 +56,44 @@ class DensityMatrix {
     /** rho = |digits><digits|. */
     DensityMatrix(WireDims dims, const std::vector<int>& digits);
 
+    /** Adopts an existing density matrix (must be dims.size() square). */
+    DensityMatrix(WireDims dims, Matrix rho);
+
     const WireDims& dims() const { return dims_; }
     const Matrix& rho() const { return rho_; }
     Matrix& mutable_rho() { return rho_; }
 
-    /** Applies a unitary on the given wires: rho -> U rho U^dagger. */
+    /** Plan cache shared by every operator compiled against this register;
+     *  callers precompiling their own superops/channels should pass it to
+     *  compile_superop/compile_channel so tables are built once. */
+    exec::PlanCache& plan_cache() { return cache_; }
+
+    /** Applies a unitary on the given wires: rho -> U rho U^dagger
+     *  (compiled superoperator path; plans cached per wire tuple). */
     void apply_unitary(const Matrix& u, std::span<const int> wires);
 
     /** Applies a Kraus channel on the given wires:
-     *  rho -> sum_i K_i rho K_i^dagger. */
+     *  rho -> sum_i K_i rho K_i^dagger (compiled superoperator path). */
     void apply_channel(const KrausChannel& channel,
                        std::span<const int> wires);
+
+    /** Applies a precompiled operator: rho -> K rho K^dagger. */
+    void apply(const exec::CompiledSuperOp& op);
+
+    /** Applies a precompiled channel: rho -> sum_i K_i rho K_i^dagger. */
+    void apply(const CompiledChannel& channel);
+
+    /**
+     * Dense reference oracle for apply_unitary: expands U to the full
+     * register and multiplies, O(D^3). Kept (with apply_channel_dense)
+     * as the independent implementation the compiled superoperator path
+     * is property-tested and benchmarked against.
+     */
+    void apply_unitary_dense(const Matrix& u, std::span<const int> wires);
+
+    /** Dense reference oracle for apply_channel (see above). */
+    void apply_channel_dense(const KrausChannel& channel,
+                             std::span<const int> wires);
 
     /** Fidelity against a pure state: <psi| rho |psi>. */
     Real fidelity(const StateVector& psi) const;
@@ -54,14 +107,19 @@ class DensityMatrix {
 
     WireDims dims_;
     Matrix rho_;
+    exec::PlanCache cache_;
+    exec::ExecScratch scratch_;
+    Matrix tmp_, acc_;  ///< channel-application scratch (kept allocated)
 };
 
 /**
  * Evolves `initial` through the circuit under the model's noise exactly
- * (moment by moment, same channel placement as the trajectory engine) and
- * returns the fidelity against the noiseless output. Cost is O(d^{2N}) per
- * gate; use only for small registers. Coherent dephasing is modelled as
- * the equivalent Gaussian dephasing channel.
+ * (moment by moment, same channel placement as the trajectory engine —
+ * see error_placement.h) and returns the fidelity against the noiseless
+ * output. The circuit's gates, gate-error channels, and per-wire damping
+ * channels are each compiled ONCE against a shared plan cache and reused
+ * across moments; cost is O(D^2 * b) per operator. Coherent dephasing is
+ * modelled as the equivalent Gaussian dephasing channel.
  */
 Real density_matrix_fidelity(const Circuit& circuit, const NoiseModel& model,
                              const StateVector& initial);

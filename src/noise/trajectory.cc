@@ -3,9 +3,11 @@
 #include <atomic>
 #include <cmath>
 #include <map>
+#include <stdexcept>
 #include <thread>
 
 #include "noise/channels.h"
+#include "noise/error_placement.h"
 #include "qdsim/exec/compiled_circuit.h"
 #include "qdsim/moments.h"
 #include "qdsim/random_state.h"
@@ -92,9 +94,12 @@ struct EngineContext {
     /**
      * Precompiles every depolarizing error unitary the trajectory loop can
      * draw, sharing apply plans with the compiled circuit (an error on a
-     * gate's wires reuses that gate's offset tables). Draws are memoised
-     * by (wires, per-channel probability), so a circuit with many gates on
-     * the same wire pair compiles its channel once.
+     * gate's wires reuses that gate's offset tables). Placement comes
+     * from enumerate_error_sites — the same policy the exact
+     * density-matrix engine compiles against, so the two stay comparable.
+     * Draws are memoised by (wires, per-channel probability), so a
+     * circuit with many gates on the same wire pair compiles its channel
+     * once.
      */
     void build_error_draws(const Circuit& circuit, const NoiseModel& model) {
         const WireDims& dims = circuit.dims();
@@ -102,64 +107,31 @@ struct EngineContext {
         for (const exec::CompiledOp& op : compiled.ops()) {
             cache.put(op.wires, op.plan);
         }
-        auto draw_for = [&](const std::vector<int>& gate_dims, Real per,
-                            const std::vector<int>& wires)
-            -> const ErrorDraw* {
-            const auto key = std::make_pair(wires, per);
-            auto it = error_memo_.find(key);
-            if (it != error_memo_.end()) {
-                return &it->second;
-            }
-            const MixedUnitaryChannel ch =
-                gate_dims.size() == 1
-                    ? depolarizing1(gate_dims[0], per)
-                    : depolarizing2(gate_dims[0], gate_dims[1], per);
-            ErrorDraw draw;
-            draw.total = static_cast<Real>(ch.probs.size()) * per;
-            draw.unitaries.reserve(ch.unitaries.size());
-            for (const Matrix& u : ch.unitaries) {
-                draw.unitaries.push_back(exec::compile_op(
-                    dims, Gate("err", gate_dims, u), wires, &cache));
-            }
-            it = error_memo_.emplace(key, std::move(draw)).first;
-            return &it->second;
-        };
-
+        const auto sites = enumerate_error_sites(circuit, model);
         errors.resize(circuit.num_ops());
-        for (std::size_t i = 0; i < circuit.num_ops(); ++i) {
-            const Operation& op = circuit.ops()[i];
-            const int arity = op.gate.arity();
-            if (arity == 1) {
-                if (model.p1 <= 0) {
-                    continue;
+        for (std::size_t i = 0; i < sites.size(); ++i) {
+            for (const ErrorSite& site : sites[i]) {
+                const auto key =
+                    std::make_pair(site.wires, site.per_channel);
+                auto it = error_memo_.find(key);
+                if (it == error_memo_.end()) {
+                    const MixedUnitaryChannel ch =
+                        site.dims.size() == 1
+                            ? depolarizing1(site.dims[0], site.per_channel)
+                            : depolarizing2(site.dims[0], site.dims[1],
+                                            site.per_channel);
+                    ErrorDraw draw;
+                    draw.total = static_cast<Real>(ch.probs.size()) *
+                                 site.per_channel;
+                    draw.unitaries.reserve(ch.unitaries.size());
+                    for (const Matrix& u : ch.unitaries) {
+                        draw.unitaries.push_back(exec::compile_op(
+                            dims, Gate("err", site.dims, u), site.wires,
+                            &cache));
+                    }
+                    it = error_memo_.emplace(key, std::move(draw)).first;
                 }
-                const int d = op.gate.dims()[0];
-                errors[i].push_back(
-                    draw_for({d}, model.per_channel_1q(d), op.wires));
-                continue;
-            }
-            if (model.p2 <= 0) {
-                continue;
-            }
-            if (arity == 2) {
-                const Real per = model.per_channel_2q(op.gate.dims()[0],
-                                                      op.gate.dims()[1]);
-                errors[i].push_back(
-                    draw_for(op.gate.dims(), per, op.wires));
-                continue;
-            }
-            // Three-or-more-qudit gates: an independent two-qudit error on
-            // each adjacent operand pair (conservative count for
-            // undecomposed circuits, matching the reference engine).
-            for (std::size_t j = 0; j + 1 < op.wires.size(); j += 2) {
-                const std::vector<int> pair_dims = {op.gate.dims()[j],
-                                                    op.gate.dims()[j + 1]};
-                const std::vector<int> pair = {op.wires[j],
-                                               op.wires[j + 1]};
-                errors[i].push_back(draw_for(
-                    pair_dims,
-                    model.per_channel_2q(pair_dims[0], pair_dims[1]),
-                    pair));
+                errors[i].push_back(&it->second);
             }
         }
     }
@@ -184,7 +156,10 @@ apply_gate_error(StateVector& psi,
     }
 }
 
-/** Applies a damping jump |level> -> |0> on `wire` and renormalises. */
+/** Applies a damping jump |level> -> |0> on `wire` and renormalises.
+ *  A jump is only ever drawn with probability proportional to the level's
+ *  population, so a zero-norm result means the engine's bookkeeping and
+ *  the state disagree — fail loudly instead of propagating NaNs. */
 void
 apply_jump(StateVector& psi, int wire, int level)
 {
@@ -193,7 +168,10 @@ apply_jump(StateVector& psi, int wire, int level)
     km(0, static_cast<std::size_t>(level)) = Complex(1, 0);
     const int wires[1] = {wire};
     psi.apply(km, std::span<const int>(wires, 1));
-    psi.normalize();
+    if (!psi.normalize()) {
+        throw std::runtime_error(
+            "trajectory: damping jump produced a zero-norm state");
+    }
 }
 
 /** Applies the no-jump K0 diagonal of a single wire (no renormalise). */
@@ -242,7 +220,13 @@ apply_idle_damping_sequential(StateVector& psi, const NoiseModel& model,
             apply_jump(psi, w, level);
         } else if (model.lambda(1, dt) > 0) {
             apply_k0(psi, model, dt, w);
-            psi.normalize();
+            if (!psi.normalize()) {
+                // K0's diagonal entries are all positive for finite T1,
+                // so only an already-invalid state can land here.
+                throw std::runtime_error(
+                    "trajectory: no-jump evolution produced a zero-norm "
+                    "state");
+            }
         }
     }
 }
@@ -273,7 +257,12 @@ apply_idle_damping_fused(StateVector& psi, const NoiseModel& model,
     }
     const Real q = psi.scale_by_table(ctx.count_key, scale);
     if (rng.uniform() < q) {
-        psi.normalize();  // no jump anywhere
+        // Accepted with probability q = norm^2 > u >= 0, so the norm is
+        // positive here by construction.
+        if (!psi.normalize()) {
+            throw std::runtime_error(
+                "trajectory: no-jump evolution produced a zero-norm state");
+        }
         return;
     }
     // Rare branch: undo the joint no-jump operator, then pick the jump.
@@ -295,7 +284,10 @@ apply_idle_damping_fused(StateVector& psi, const NoiseModel& model,
             apply_k0(psi, model, dt, w);
         }
     }
-    psi.normalize();
+    if (!psi.normalize()) {
+        throw std::runtime_error(
+            "trajectory: no-jump evolution produced a zero-norm state");
+    }
 }
 
 /** Coherent dephasing kick: random per-wire phase walk, fused into one
@@ -367,6 +359,12 @@ run_noisy_trials(const Circuit& circuit, const NoiseModel& model,
                  const TrajectoryOptions& options)
 {
     const int trials = options.trials;
+    if (trials <= 0) {
+        // A non-positive count used to divide by zero (NaN mean) and
+        // size a zero-thread pool; reject it up front.
+        throw std::invalid_argument(
+            "run_noisy_trials: options.trials must be positive");
+    }
     int threads = options.threads;
     if (threads <= 0) {
         threads = static_cast<int>(std::thread::hardware_concurrency());

@@ -70,6 +70,8 @@ Real run_single_trajectory(const Circuit& circuit, const NoiseModel& model,
  * initial states, in parallel, and aggregates mean fidelity and its
  * standard error. Reproducible for a fixed seed regardless of thread
  * count.
+ *
+ * @throws std::invalid_argument if options.trials <= 0.
  */
 TrajectoryResult run_noisy_trials(const Circuit& circuit,
                                   const NoiseModel& model,

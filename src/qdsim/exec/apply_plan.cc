@@ -99,10 +99,31 @@ make_apply_plan(const WireDims& dims, std::span<const int> wires)
     return plan;
 }
 
+PlanCache::PlanCache(const PlanCache& other) : dims_(other.dims_)
+{
+    std::lock_guard<std::mutex> lock(other.mutex_);
+    plans_ = other.plans_;
+}
+
+PlanCache&
+PlanCache::operator=(const PlanCache& other)
+{
+    if (this == &other) {
+        return *this;
+    }
+    // Consistent order (address order) prevents lock-order inversion.
+    std::scoped_lock lock(this < &other ? mutex_ : other.mutex_,
+                          this < &other ? other.mutex_ : mutex_);
+    dims_ = other.dims_;
+    plans_ = other.plans_;
+    return *this;
+}
+
 std::shared_ptr<const ApplyPlan>
 PlanCache::get(std::span<const int> wires)
 {
     std::vector<int> key(wires.begin(), wires.end());
+    std::lock_guard<std::mutex> lock(mutex_);
     auto it = plans_.find(key);
     if (it == plans_.end()) {
         it = plans_.emplace(std::move(key), make_apply_plan(dims_, wires))
@@ -118,6 +139,7 @@ PlanCache::put(std::span<const int> wires,
     if (plan == nullptr) {
         return;
     }
+    std::lock_guard<std::mutex> lock(mutex_);
     plans_.emplace(std::vector<int>(wires.begin(), wires.end()),
                    std::move(plan));
 }

@@ -16,6 +16,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -91,16 +92,23 @@ std::shared_ptr<const ApplyPlan> make_apply_plan(const WireDims& dims,
 /**
  * Memoises plans by wire tuple so every operation on the same wires of one
  * register shares one set of tables (gate, gate errors, Kraus operators).
- * Not thread-safe; compile on one thread, then share the resulting plans
- * freely (they are immutable).
+ * The map is guarded by a mutex, so concurrent compilation (e.g. ops
+ * compiled under OpenMP, or several engines sharing one cache) is safe;
+ * the plans themselves are immutable and freely shareable. Copying a
+ * cache copies the map (the shared plan tables are not duplicated).
  */
 class PlanCache {
   public:
     explicit PlanCache(WireDims dims) : dims_(std::move(dims)) {}
 
+    PlanCache(const PlanCache& other);
+    PlanCache& operator=(const PlanCache& other);
+
     const WireDims& dims() const { return dims_; }
 
-    /** Returns the cached plan for `wires`, building it on first use. */
+    /** Returns the cached plan for `wires`, building it on first use.
+     *  Concurrent callers asking for the same wires all receive the same
+     *  plan (one thread builds, the rest wait on the lock). */
     std::shared_ptr<const ApplyPlan> get(std::span<const int> wires);
 
     /** Seeds the cache with an existing plan (e.g. one built by a
@@ -111,6 +119,7 @@ class PlanCache {
 
   private:
     WireDims dims_;
+    mutable std::mutex mutex_;
     std::map<std::vector<int>, std::shared_ptr<const ApplyPlan>> plans_;
 };
 

@@ -1,6 +1,7 @@
 #include "qdsim/random_state.h"
 
 #include <cmath>
+#include <stdexcept>
 
 namespace qd {
 
@@ -11,7 +12,10 @@ haar_random_state(const WireDims& dims, Rng& rng)
     for (Index i = 0; i < psi.size(); ++i) {
         psi[i] = rng.complex_gaussian();
     }
-    psi.normalize();
+    if (!psi.normalize()) {
+        throw std::runtime_error(
+            "haar_random_state: degenerate zero-norm draw");
+    }
     return psi;
 }
 
@@ -42,7 +46,10 @@ haar_random_qubit_subspace_state(const WireDims& dims, Rng& rng)
             break;
         }
     }
-    psi.normalize();
+    if (!psi.normalize()) {
+        throw std::runtime_error(
+            "haar_random_qubit_subspace_state: degenerate zero-norm draw");
+    }
     return psi;
 }
 

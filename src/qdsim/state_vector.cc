@@ -225,17 +225,18 @@ StateVector::norm() const
     return std::sqrt(acc);
 }
 
-void
+bool
 StateVector::normalize()
 {
     const Real n = norm();
-    if (n <= 0) {
-        return;
+    if (n <= 0 || !std::isfinite(n)) {
+        return false;
     }
     const Real inv = 1.0 / n;
     for (Complex& a : amps_) {
         a *= inv;
     }
+    return true;
 }
 
 Real

@@ -82,8 +82,14 @@ class StateVector {
     /** L2 norm. */
     Real norm() const;
 
-    /** Scales amplitudes so norm() == 1 (no-op on the zero vector). */
-    void normalize();
+    /**
+     * Scales amplitudes so norm() == 1. Returns false — leaving the state
+     * untouched — when the norm is zero or non-finite, which signals a
+     * fully-damped or otherwise invalid state; callers that cannot
+     * tolerate that (e.g. trajectory jump branches) must check the
+     * result instead of silently continuing with an unnormalised state.
+     */
+    [[nodiscard]] bool normalize();
 
     /** Probability that `wire` is measured in `level`:
      *  sum of |amp|^2 over basis states with that digit. */

@@ -1,0 +1,302 @@
+/**
+ * Property tests for the compiled density-matrix engine: every compiled
+ * superoperator kernel (diagonal, monomial, controlled-subspace, dense)
+ * must match the dense expand() oracle on random mixed-radix density
+ * matrices and random operators, including non-unitary Kraus sets; the
+ * trajectory engine must converge to the compiled exact evolution.
+ */
+#include "noise/density_matrix.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "noise/channels.h"
+#include "noise/error_placement.h"
+#include "noise/models.h"
+#include "noise/trajectory.h"
+#include "qdsim/exec/superop.h"
+#include "qdsim/gate_library.h"
+#include "qdsim/random_state.h"
+#include "qdsim/simulator.h"
+
+namespace qd::noise {
+namespace {
+
+using exec::SuperOpKind;
+
+/** Random dense (generally non-unitary) operator. */
+Matrix
+random_matrix(std::size_t n, Rng& rng)
+{
+    Matrix m(n, n);
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < n; ++c) {
+            m(r, c) = rng.complex_gaussian() * 0.5;
+        }
+    }
+    return m;
+}
+
+/** Random mixed state: a weighted mixture of a few Haar-random pures. */
+Matrix
+random_mixed_rho(const WireDims& dims, Rng& rng)
+{
+    const Index n = dims.size();
+    Matrix rho(n, n);
+    Real total = 0;
+    std::vector<Real> weights;
+    for (int i = 0; i < 3; ++i) {
+        weights.push_back(0.1 + rng.uniform());
+        total += weights.back();
+    }
+    for (int i = 0; i < 3; ++i) {
+        const StateVector psi = haar_random_state(dims, rng);
+        const Real w = weights[static_cast<std::size_t>(i)] / total;
+        for (Index r = 0; r < n; ++r) {
+            for (Index c = 0; c < n; ++c) {
+                rho(r, c) += w * psi[r] * std::conj(psi[c]);
+            }
+        }
+    }
+    return rho;
+}
+
+void
+expect_rho_equal(const Matrix& a, const Matrix& b, Real tol,
+                 const char* what)
+{
+    ASSERT_EQ(a.rows(), b.rows());
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+        for (std::size_t c = 0; c < a.cols(); ++c) {
+            EXPECT_NEAR(std::abs(a(r, c) - b(r, c)), 0.0, tol)
+                << what << " at (" << r << ", " << c << ")";
+        }
+    }
+}
+
+/** Applies `op` to copies of a random mixed rho via the compiled and the
+ *  dense-oracle path, expecting agreement; returns the routed kernel. */
+SuperOpKind
+check_unitary_against_oracle(const WireDims& dims, const Gate& gate,
+                             const std::vector<int>& wires, Rng& rng)
+{
+    const Matrix rho = random_mixed_rho(dims, rng);
+    DensityMatrix compiled(dims, rho);
+    DensityMatrix dense(dims, rho);
+    const auto sop = exec::compile_superop(dims, gate, wires,
+                                           &compiled.plan_cache());
+    compiled.apply(sop);
+    dense.apply_unitary_dense(gate.matrix(), wires);
+    expect_rho_equal(compiled.rho(), dense.rho(), 1e-10,
+                     exec::superop_kernel_name(sop.kind));
+    return sop.kind;
+}
+
+TEST(DensityMatrix, CompiledUnitaryMatchesOracleOnRandomOperators) {
+    Rng rng(301);
+    const std::vector<std::vector<int>> registers = {
+        {2, 2, 2}, {3, 3}, {2, 3, 2}, {3, 2, 3}};
+    for (const auto& reg : registers) {
+        const WireDims dims(reg);
+        for (int k = 1; k <= 2; ++k) {
+            for (int rep = 0; rep < 2; ++rep) {
+                std::vector<int> wires;
+                for (int w = 0; w < dims.num_wires() &&
+                     static_cast<int>(wires.size()) < k; ++w) {
+                    wires.push_back((w + rep) % dims.num_wires());
+                }
+                std::vector<int> gdims;
+                std::size_t block = 1;
+                for (const int w : wires) {
+                    gdims.push_back(dims.dim(w));
+                    block *= static_cast<std::size_t>(dims.dim(w));
+                }
+                const Gate g("rand", gdims,
+                             haar_random_unitary(block, rng));
+                EXPECT_EQ(check_unitary_against_oracle(dims, g, wires, rng),
+                          SuperOpKind::kDense);
+            }
+        }
+    }
+}
+
+TEST(DensityMatrix, KernelRoutingMatchesOperatorStructure) {
+    Rng rng(302);
+    const WireDims q3 = WireDims::uniform(3, 3);
+    // Phase-only gates route to the fused diagonal kernel.
+    EXPECT_EQ(check_unitary_against_oracle(q3, gates::Z3(), {1}, rng),
+              SuperOpKind::kDiagonal);
+    // Pure permutations and generalized Paulis route to monomial cycles.
+    EXPECT_EQ(check_unitary_against_oracle(q3, gates::Xplus1(), {2}, rng),
+              SuperOpKind::kMonomial);
+    // Controlled gates touch only the active control subspace.
+    EXPECT_EQ(check_unitary_against_oracle(
+                  q3, gates::H3().controlled(3, 2), {0, 2}, rng),
+              SuperOpKind::kControlled);
+    // Generic dense fallback.
+    EXPECT_EQ(check_unitary_against_oracle(
+                  q3, Gate("rand", {3}, haar_random_unitary(3, rng)), {1},
+                  rng),
+              SuperOpKind::kDense);
+}
+
+TEST(DensityMatrix, MonomialKernelCoversGeneralizedPaulis) {
+    // Every X^j Z^k depolarizing term is a generalized permutation; the
+    // monomial kernel must reproduce the oracle for all of them.
+    Rng rng(303);
+    const WireDims dims({3, 2, 3});
+    const MixedUnitaryChannel ch = depolarizing1(3, 0.01);
+    const std::vector<int> wires = {2};
+    for (const Matrix& u : ch.unitaries) {
+        const Matrix rho = random_mixed_rho(dims, rng);
+        DensityMatrix compiled(dims, rho);
+        DensityMatrix dense(dims, rho);
+        const auto sop = exec::compile_superop(dims, u, wires);
+        EXPECT_NE(sop.kind, SuperOpKind::kDense)
+            << "generalized Pauli should hit a structured kernel";
+        compiled.apply(sop);
+        dense.apply_unitary_dense(u, wires);
+        expect_rho_equal(compiled.rho(), dense.rho(), 1e-10, "pauli");
+    }
+}
+
+TEST(DensityMatrix, CompiledChannelMatchesOracleOnNonUnitaryKraus) {
+    Rng rng(304);
+    const std::vector<std::vector<int>> registers = {{2, 3, 2}, {3, 3, 2}};
+    for (const auto& reg : registers) {
+        const WireDims dims(reg);
+        for (int k = 1; k <= 2; ++k) {
+            const std::vector<int> wires =
+                k == 1 ? std::vector<int>{1} : std::vector<int>{2, 0};
+            std::size_t block = 1;
+            for (const int w : wires) {
+                block *= static_cast<std::size_t>(dims.dim(w));
+            }
+            // A random (not even trace-preserving) Kraus set: the engine
+            // must reproduce sum_i K_i rho K_i^dagger verbatim.
+            KrausChannel ch;
+            for (int i = 0; i < 3; ++i) {
+                ch.operators.push_back(random_matrix(block, rng));
+            }
+            const Matrix rho = random_mixed_rho(dims, rng);
+            DensityMatrix compiled(dims, rho);
+            DensityMatrix dense(dims, rho);
+            compiled.apply_channel(ch, wires);
+            dense.apply_channel_dense(ch, wires);
+            expect_rho_equal(compiled.rho(), dense.rho(), 1e-10, "kraus");
+        }
+    }
+}
+
+TEST(DensityMatrix, AmplitudeDampingChannelMatchesOracle) {
+    Rng rng(305);
+    const WireDims dims({3, 3});
+    const KrausChannel damp = amplitude_damping(3, {0.05, 0.12});
+    ASSERT_TRUE(damp.is_complete());
+    for (int w = 0; w < 2; ++w) {
+        const std::vector<int> wires = {w};
+        const Matrix rho = random_mixed_rho(dims, rng);
+        DensityMatrix compiled(dims, rho);
+        DensityMatrix dense(dims, rho);
+        compiled.apply_channel(damp, wires);
+        dense.apply_channel_dense(damp, wires);
+        expect_rho_equal(compiled.rho(), dense.rho(), 1e-10, "damping");
+        EXPECT_NEAR(compiled.trace_real(), 1.0, 1e-10);
+    }
+}
+
+TEST(DensityMatrix, TwoQutritDepolarizingChannelMatchesOracle) {
+    Rng rng(306);
+    const WireDims dims = WireDims::uniform(3, 3);
+    const std::vector<int> wires = {0, 2};
+    const KrausChannel ch = depolarizing2(3, 3, 1e-3).to_kraus(9);
+    ASSERT_TRUE(ch.is_complete());
+    const Matrix rho = random_mixed_rho(dims, rng);
+    DensityMatrix compiled(dims, rho);
+    DensityMatrix dense(dims, rho);
+    compiled.apply_channel(ch, wires);
+    dense.apply_channel_dense(ch, wires);
+    expect_rho_equal(compiled.rho(), dense.rho(), 1e-10, "depolarizing2");
+    EXPECT_NEAR(compiled.trace_real(), 1.0, 1e-10);
+}
+
+TEST(DensityMatrix, CompiledChannelReusableAcrossApplications) {
+    // compile_channel once, apply across "moments": results must track
+    // the oracle applied the same number of times.
+    Rng rng(307);
+    const WireDims dims({3, 2});
+    const std::vector<int> wires = {0};
+    const KrausChannel damp = amplitude_damping(3, {0.03, 0.08});
+    const CompiledChannel compiled_ch = compile_channel(dims, damp, wires);
+    const Matrix rho = random_mixed_rho(dims, rng);
+    DensityMatrix compiled(dims, rho);
+    DensityMatrix dense(dims, rho);
+    for (int moment = 0; moment < 3; ++moment) {
+        compiled.apply(compiled_ch);
+        dense.apply_channel_dense(damp, wires);
+    }
+    expect_rho_equal(compiled.rho(), dense.rho(), 1e-10, "reuse");
+}
+
+TEST(DensityMatrix, AdoptedRhoCtorValidatesSize) {
+    EXPECT_THROW(DensityMatrix(WireDims({3, 3}), Matrix(4, 4)),
+                 std::invalid_argument);
+}
+
+TEST(DensityMatrix, NoiselessCircuitFidelityIsOne) {
+    Circuit c(WireDims::uniform(2, 3));
+    c.append(gates::H3(), {0});
+    c.append(gates::Xplus1().controlled(3, 1), {0, 1});
+    NoiseModel m;
+    m.dt_1q = 100e-9;
+    m.dt_2q = 300e-9;
+    Rng rng(308);
+    const StateVector init = haar_random_state(c.dims(), rng);
+    EXPECT_NEAR(density_matrix_fidelity(c, m, init), 1.0, 1e-9);
+}
+
+TEST(DensityMatrix, ErrorPlacementSplitsWideGatesIntoPairs) {
+    // Shared policy: a 3-qudit gate draws one two-qudit channel per
+    // adjacent operand pair, in both engines (regression for the old
+    // density path which dropped wide-gate errors entirely).
+    Circuit c(WireDims::uniform(3, 2));
+    c.append(gates::CCX(), {0, 1, 2});
+    NoiseModel m;
+    m.p2 = 1e-3;
+    const auto sites = enumerate_error_sites(c, m);
+    ASSERT_EQ(sites.size(), 1u);
+    ASSERT_EQ(sites[0].size(), 1u);
+    EXPECT_EQ(sites[0][0].wires, (std::vector<int>{0, 1}));
+    EXPECT_NEAR(sites[0][0].per_channel, m.per_channel_2q(2, 2), 1e-15);
+}
+
+TEST(DensityMatrix, TrajectoryConvergesToCompiledExactDepolarizing) {
+    // Satellite: trajectory-vs-exact convergence on a 2-qutrit
+    // depolarizing circuit, with the exact side on the compiled
+    // superoperator path.
+    Circuit c(WireDims::uniform(2, 3));
+    c.append(gates::H3(), {0});
+    c.append(gates::Xplus1().controlled(3, 1), {0, 1});
+    c.append(gates::H3(), {1});
+    NoiseModel m;
+    m.dt_1q = 100e-9;
+    m.dt_2q = 300e-9;
+    m.p1 = 3e-3;
+    m.p2 = 2e-3;
+    Rng rng(309);
+    const StateVector init = haar_random_state(c.dims(), rng);
+    const Real exact = density_matrix_fidelity(c, m, init);
+    const StateVector ideal = simulate(c, init);
+    Real mean = 0;
+    const int trials = 3000;
+    for (int t = 0; t < trials; ++t) {
+        Rng child = rng.child(static_cast<std::uint64_t>(t));
+        mean += run_single_trajectory(c, m, init, ideal, child);
+    }
+    mean /= trials;
+    EXPECT_NEAR(mean, exact, 0.01);
+}
+
+}  // namespace
+}  // namespace qd::noise

@@ -44,6 +44,20 @@ TEST(Trajectory, NoiselessGivesUnitFidelity) {
     EXPECT_EQ(res.trials, 8);
 }
 
+TEST(Trajectory, ThrowsOnNonPositiveTrials) {
+    // Regression: trials == 0 used to divide by zero (NaN mean fidelity)
+    // and spawn a zero-thread pool; negative counts corrupted the result
+    // buffer size. Both must be rejected up front.
+    const Circuit c = small_qutrit_circuit();
+    TrajectoryOptions opts;
+    opts.trials = 0;
+    EXPECT_THROW(run_noisy_trials(c, noiseless(), opts),
+                 std::invalid_argument);
+    opts.trials = -5;
+    EXPECT_THROW(run_noisy_trials(c, noiseless(), opts),
+                 std::invalid_argument);
+}
+
 TEST(Trajectory, ReproducibleForSeed) {
     const Circuit c = small_qutrit_circuit();
     auto model = sc();

@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -258,6 +259,49 @@ TEST(Exec, PlanCacheSharesTablesBetweenOps) {
     EXPECT_EQ(a.get(), b.get());
     EXPECT_EQ(a->block, 9u);
     EXPECT_EQ(a->outer_count(), 3u);
+}
+
+TEST(Exec, PlanCacheConcurrentLookupsReturnIdenticalTables) {
+    // Regression: the cache map had no lock, so concurrent compilation
+    // (e.g. ops compiled under OpenMP, or engines sharing one cache)
+    // raced the insert. Hammer one cache from many threads and check
+    // every caller sees a consistent plan with identical tables.
+    const WireDims dims = WireDims::uniform(5, 3);
+    exec::PlanCache cache(dims);
+    const std::vector<std::vector<int>> sites = {
+        {0}, {1}, {2}, {0, 1}, {1, 2}, {3, 4}, {0, 4}, {2, 3}};
+    constexpr int kThreads = 8;
+    std::vector<std::vector<std::shared_ptr<const exec::ApplyPlan>>> got(
+        kThreads);
+    std::vector<std::thread> pool;
+    for (int t = 0; t < kThreads; ++t) {
+        pool.emplace_back([&, t]() {
+            for (int rep = 0; rep < 50; ++rep) {
+                for (const auto& wires : sites) {
+                    got[static_cast<std::size_t>(t)].push_back(
+                        cache.get(wires));
+                }
+            }
+        });
+    }
+    for (std::thread& th : pool) {
+        th.join();
+    }
+    // All threads agree with a fresh single-threaded build of each site.
+    for (std::size_t s = 0; s < sites.size(); ++s) {
+        const auto reference = exec::make_apply_plan(dims, sites[s]);
+        for (int t = 0; t < kThreads; ++t) {
+            const auto& plan = got[static_cast<std::size_t>(t)][s];
+            ASSERT_NE(plan, nullptr);
+            EXPECT_EQ(plan->block, reference->block);
+            EXPECT_EQ(plan->local_offset, reference->local_offset);
+            EXPECT_EQ(plan->base_offsets, reference->base_offsets);
+            // Within one register, a wire tuple resolves to ONE shared
+            // plan object for every thread.
+            EXPECT_EQ(plan.get(),
+                      got[0][s].get());
+        }
+    }
 }
 
 TEST(Exec, BaseOfMatchesTabulatedOffsets) {

@@ -121,7 +121,19 @@ TEST(StateVector, NormalizeAfterDamping) {
     StateVector psi(WireDims::uniform(1, 2));
     psi[0] = Complex(0.5, 0);
     psi[1] = Complex(0.5, 0);
-    psi.normalize();
+    EXPECT_TRUE(psi.normalize());
+    EXPECT_NEAR(psi.norm(), 1.0, 1e-12);
+}
+
+TEST(StateVector, NormalizeReportsZeroNorm) {
+    // Regression: normalize() used to silently no-op on the zero vector,
+    // masking fully-damped/invalid states in trajectory jump branches.
+    StateVector psi(WireDims::uniform(2, 3));
+    psi[0] = Complex(0, 0);  // now the all-zero vector
+    EXPECT_FALSE(psi.normalize());
+    EXPECT_NEAR(psi.norm(), 0.0, 1e-12);  // state left untouched
+    psi[4] = Complex(0, 2);
+    EXPECT_TRUE(psi.normalize());
     EXPECT_NEAR(psi.norm(), 1.0, 1e-12);
 }
 
@@ -172,7 +184,7 @@ TEST(StateVector, NonUnitaryKrausApplication) {
     psi.apply(k1, w);
     EXPECT_NEAR(std::norm(psi[0]), 0.15, 1e-12);
     EXPECT_NEAR(std::norm(psi[1]), 0.0, 1e-12);
-    psi.normalize();
+    EXPECT_TRUE(psi.normalize());
     EXPECT_NEAR(psi.population(0, 0), 1.0, 1e-12);
 }
 
