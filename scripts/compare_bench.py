@@ -21,7 +21,19 @@ import sys
 TRACKED = {
     "BENCH_exec.json": ["speedup"],
     "BENCH_density.json": ["speedup"],
+    "BENCH_batch.json": ["speedup"],
 }
+
+
+def load_json(path, failures):
+    """Parses a result/baseline file, recording a clear failure (instead of
+    an uncaught traceback) when the file is truncated or malformed."""
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except json.JSONDecodeError as err:
+        failures.append(f"{path}: invalid or truncated JSON ({err})")
+        return None
 
 
 def main():
@@ -46,10 +58,10 @@ def main():
             failures.append(f"{name}: benchmark result missing "
                             f"(expected at {result_path})")
             continue
-        with open(result_path) as f:
-            result = json.load(f)
-        with open(baseline_path) as f:
-            baseline = json.load(f)
+        result = load_json(result_path, failures)
+        baseline = load_json(baseline_path, failures)
+        if result is None or baseline is None:
+            continue
         for metric in metrics:
             if metric not in baseline:
                 print(f"[skip] {name}:{metric}: not in baseline")
@@ -73,6 +85,15 @@ def main():
         print("\nbenchmark regression check FAILED:", file=sys.stderr)
         for failure in failures:
             print(f"  - {failure}", file=sys.stderr)
+        return 1
+    if checked == 0:
+        # Every tracked file was skipped (e.g. no baselines checked in, or
+        # metrics missing from every baseline). Exiting green here would
+        # silently disable the perf gate.
+        print("benchmark regression check FAILED: 0 metrics compared — "
+              "every tracked file was skipped; check that baselines exist "
+              f"under --baselines and results under --results "
+              f"(tracked: {', '.join(sorted(TRACKED))})", file=sys.stderr)
         return 1
     print(f"\nbenchmark regression check passed ({checked} metrics)")
     return 0

@@ -13,7 +13,14 @@ NoiseModel::lambda(int m, Real dt) const
     if (!has_damping()) {
         return 0;
     }
-    return 1.0 - std::exp(-static_cast<Real>(m) * dt / t1);
+    Real rate = static_cast<Real>(m);
+    if (m >= 1 && static_cast<std::size_t>(m - 1) < decay_rates.size()) {
+        rate = decay_rates[static_cast<std::size_t>(m - 1)];
+    }
+    if (rate <= 0) {
+        return 0;
+    }
+    return 1.0 - std::exp(-rate * dt / t1);
 }
 
 Real

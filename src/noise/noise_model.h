@@ -47,6 +47,15 @@ struct NoiseModel {
 
     /** T1 relaxation time; <= 0 disables amplitude damping. */
     Real t1 = 0;
+    /**
+     * Optional per-level decay-rate overrides, in units of 1/T1: entry m-1
+     * replaces the default rate m for level m, so
+     * lambda_m = 1 - exp(-decay_rates[m-1] * dt / T1). Empty (the default)
+     * keeps the paper's linear-in-m rates. A zero entry disables that
+     * level's decay entirely — e.g. {0, 2} models a register whose |1> is
+     * metastable while |2> still relaxes (level-2-only decay).
+     */
+    std::vector<Real> decay_rates;
     /** Single-qudit gate (short moment) duration. */
     Real dt_1q = 0;
     /** Two-qudit gate (long moment) duration. */

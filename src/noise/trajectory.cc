@@ -1,13 +1,17 @@
 #include "noise/trajectory.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <map>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 
 #include "noise/channels.h"
 #include "noise/error_placement.h"
+#include "qdsim/exec/batched_kernels.h"
+#include "qdsim/exec/batched_state.h"
 #include "qdsim/exec/compiled_circuit.h"
 #include "qdsim/moments.h"
 #include "qdsim/random_state.h"
@@ -16,6 +20,13 @@
 namespace qd::noise {
 
 namespace {
+
+/** Default lanes per batched circuit pass (TrajectoryOptions::batch == 0):
+ *  wide enough to amortise plan/offset-table reads across shots, small
+ *  enough that B states of a trajectory-sized register stay cache-resident
+ *  (12 lanes measured fastest on the 5-qutrit bench_batch workload; the
+ *  curve is flat between 8 and 16). */
+constexpr int kDefaultBatchLanes = 12;
 
 /**
  * One precompiled error lottery: with probability `total` a uniformly
@@ -188,6 +199,19 @@ apply_k0(StateVector& psi, const NoiseModel& model, Real dt, int wire)
     psi.apply_diag1(diag, wire);
 }
 
+/** True iff any excited level of a d-dimensional wire decays at all over
+ *  dt — i.e. the wire's no-jump K0 differs from the identity. */
+bool
+k0_nontrivial(const NoiseModel& model, Real dt, int d)
+{
+    for (int m = 1; m < d; ++m) {
+        if (model.lambda(m, dt) > 0) {
+            return true;
+        }
+    }
+    return false;
+}
+
 /** Exact per-wire sequential idle errors (paper Algorithm 1 inner loop);
  *  used for mixed-radix registers and the rare jump branch. */
 void
@@ -218,7 +242,11 @@ apply_idle_damping_sequential(StateVector& psi, const NoiseModel& model,
                 }
             }
             apply_jump(psi, w, level);
-        } else if (model.lambda(1, dt) > 0) {
+        } else if (k0_nontrivial(model, dt, d)) {
+            // Gating on ANY level's decay, not just level 1: a model with
+            // lambda(1) == 0 but lambda(2) > 0 (level-2-only decay) still
+            // has a non-identity K0, and skipping it made this engine
+            // disagree with the fused path (regression-tested).
             apply_k0(psi, model, dt, w);
             if (!psi.normalize()) {
                 // K0's diagonal entries are all positive for finite T1,
@@ -228,6 +256,76 @@ apply_idle_damping_sequential(StateVector& psi, const NoiseModel& model,
                     "state");
             }
         }
+    }
+}
+
+/** Builds the fused no-jump scale table (indexed by packed excited-level
+ *  counts) and its inverse for one moment duration. */
+void
+build_damping_tables(const NoiseModel& model, Real dt,
+                     const EngineContext& ctx, std::vector<Real>& scale,
+                     std::vector<Real>& inv)
+{
+    const Real l1 = model.lambda(1, dt);
+    const Real l2 = ctx.dim >= 3 ? model.lambda(2, dt) : 0.0;
+    const Real s1 = std::sqrt(1.0 - l1), s2 = std::sqrt(1.0 - l2);
+    const int stride = ctx.width + 1;
+    scale.assign(static_cast<std::size_t>(stride * stride), 1.0);
+    inv.assign(scale.size(), 1.0);
+    for (int n1 = 0; n1 <= ctx.width; ++n1) {
+        for (int n2 = 0; n2 + n1 <= ctx.width; ++n2) {
+            const Real s = std::pow(s1, n1) * std::pow(s2, n2);
+            scale[static_cast<std::size_t>(n1 * stride + n2)] = s;
+            inv[static_cast<std::size_t>(n1 * stride + n2)] = 1.0 / s;
+        }
+    }
+}
+
+/**
+ * The fused path's rejected branch, entered with the joint no-jump
+ * operator still applied to `psi`: undo it, then draw the jump from the
+ * per-(wire, level) populations. Shared by the single-shot and batched
+ * engines (the batched engine calls it on an extracted lane).
+ */
+void
+fused_rare_branch(StateVector& psi, const NoiseModel& model, Real dt,
+                  const EngineContext& ctx, Rng& rng,
+                  const std::vector<Real>& scale,
+                  const std::vector<Real>& inv)
+{
+    psi.scale_by_table(ctx.count_key, inv);
+    std::vector<Real> weights;
+    std::vector<std::pair<int, int>> arms;  // (wire, level)
+    for (int w = 0; w < ctx.width; ++w) {
+        const auto pops = psi.populations(w);
+        for (int m = 1; m < ctx.dim; ++m) {
+            weights.push_back(model.lambda(m, dt) *
+                              pops[static_cast<std::size_t>(m)]);
+            arms.emplace_back(w, m);
+        }
+    }
+    const std::optional<std::size_t> pick = rng.weighted_draw(weights);
+    if (!pick.has_value()) {
+        // Numerically-all-zero weights: there is no jump to draw (the
+        // acceptance draw lost to rounding). Fall back to the no-jump
+        // evolution instead of forcing a zero-population jump, which
+        // used to die renormalising a zero state.
+        psi.scale_by_table(ctx.count_key, scale);
+        if (!psi.normalize()) {
+            throw std::runtime_error(
+                "trajectory: no-jump evolution produced a zero-norm state");
+        }
+        return;
+    }
+    apply_jump(psi, arms[*pick].first, arms[*pick].second);
+    for (int w = 0; w < ctx.width; ++w) {
+        if (w != arms[*pick].first) {
+            apply_k0(psi, model, dt, w);
+        }
+    }
+    if (!psi.normalize()) {
+        throw std::runtime_error(
+            "trajectory: no-jump evolution produced a zero-norm state");
     }
 }
 
@@ -241,20 +339,8 @@ void
 apply_idle_damping_fused(StateVector& psi, const NoiseModel& model,
                          Real dt, const EngineContext& ctx, Rng& rng)
 {
-    const Real l1 = model.lambda(1, dt);
-    const Real l2 = ctx.dim >= 3 ? model.lambda(2, dt) : 0.0;
-    const Real s1 = std::sqrt(1.0 - l1), s2 = std::sqrt(1.0 - l2);
-    const int stride = ctx.width + 1;
-    std::vector<Real> scale(
-        static_cast<std::size_t>(stride * stride), 1.0);
-    std::vector<Real> inv(scale.size(), 1.0);
-    for (int n1 = 0; n1 <= ctx.width; ++n1) {
-        for (int n2 = 0; n2 + n1 <= ctx.width; ++n2) {
-            const Real s = std::pow(s1, n1) * std::pow(s2, n2);
-            scale[static_cast<std::size_t>(n1 * stride + n2)] = s;
-            inv[static_cast<std::size_t>(n1 * stride + n2)] = 1.0 / s;
-        }
-    }
+    std::vector<Real> scale, inv;
+    build_damping_tables(model, dt, ctx, scale, inv);
     const Real q = psi.scale_by_table(ctx.count_key, scale);
     if (rng.uniform() < q) {
         // Accepted with probability q = norm^2 > u >= 0, so the norm is
@@ -265,29 +351,7 @@ apply_idle_damping_fused(StateVector& psi, const NoiseModel& model,
         }
         return;
     }
-    // Rare branch: undo the joint no-jump operator, then pick the jump.
-    psi.scale_by_table(ctx.count_key, inv);
-    std::vector<Real> weights;
-    std::vector<std::pair<int, int>> arms;  // (wire, level)
-    for (int w = 0; w < ctx.width; ++w) {
-        const auto pops = psi.populations(w);
-        for (int m = 1; m < ctx.dim; ++m) {
-            weights.push_back(model.lambda(m, dt) *
-                              pops[static_cast<std::size_t>(m)]);
-            arms.emplace_back(w, m);
-        }
-    }
-    const std::size_t pick = rng.weighted_draw(weights);
-    apply_jump(psi, arms[pick].first, arms[pick].second);
-    for (int w = 0; w < ctx.width; ++w) {
-        if (w != arms[pick].first) {
-            apply_k0(psi, model, dt, w);
-        }
-    }
-    if (!psi.normalize()) {
-        throw std::runtime_error(
-            "trajectory: no-jump evolution produced a zero-norm state");
-    }
+    fused_rare_branch(psi, model, dt, ctx, rng, scale, inv);
 }
 
 /** Coherent dephasing kick: random per-wire phase walk, fused into one
@@ -341,14 +405,296 @@ run_trajectory_with_context(const NoiseModel& model,
     return psi.fidelity(ideal_out);
 }
 
+// --------------------------------------------------------------------------
+// Batched engine: B trajectory lanes advance through one compiled-circuit
+// pass. Shared, deterministic work (gates, no-jump scaling, dephasing) runs
+// on all lanes at once; divergent per-lane events (gate-error draws,
+// damping jumps, the fused rare branch) extract the lane, run the
+// single-shot code above, and write the lane back — which is what keeps
+// every lane bitwise identical to an unbatched shot on the same RNG
+// stream.
+// --------------------------------------------------------------------------
+
+/** Draws and applies per-lane depolarizing errors after one gate. */
+void
+apply_gate_error_batched(exec::BatchedStateVector& psi,
+                         const std::vector<const ErrorDraw*>& draws,
+                         std::vector<Rng>& rngs, StateVector& lane,
+                         exec::ExecScratch& scratch)
+{
+    const int lanes = psi.lanes();
+    for (const ErrorDraw* e : draws) {
+        for (int j = 0; j < lanes; ++j) {
+            if (rngs[static_cast<std::size_t>(j)].uniform() >= e->total) {
+                continue;  // no error on this lane
+            }
+            const std::size_t pick = static_cast<std::size_t>(
+                rngs[static_cast<std::size_t>(j)].uniform_int(
+                    e->unitaries.size()));
+            psi.extract_lane(j, lane);
+            exec::apply_op(e->unitaries[pick], lane, scratch);
+            psi.set_lane(j, lane);
+        }
+    }
+}
+
+/** Reusable per-batch buffers for the idle-noise loop (one set per worker
+ *  batch; avoids a handful of heap allocations per moment). */
+struct BatchNoiseScratch {
+    std::vector<std::uint8_t> accepted;
+    /** factors[lane][wire] for the batched dephasing kick; the nested
+     *  vectors are sized on first use and refilled in place after that. */
+    std::vector<std::vector<std::vector<Complex>>> dephasing_factors;
+};
+
+/** Batched fused damping: one joint table-scaled pass over all lanes;
+ *  rejected lanes take the single-shot rare branch individually. The
+ *  scale/inv tables are a pure function of (model, dt), so the caller
+ *  builds them once per moment duration instead of once per moment. */
+void
+apply_idle_damping_fused_batched(exec::BatchedStateVector& psi,
+                                 const NoiseModel& model, Real dt,
+                                 const EngineContext& ctx,
+                                 const std::vector<Real>& scale,
+                                 const std::vector<Real>& inv,
+                                 std::vector<Rng>& rngs, StateVector& lane,
+                                 BatchNoiseScratch& ds)
+{
+    const std::vector<Real> q =
+        psi.scale_by_table_lanes(ctx.count_key, scale);
+    const int lanes = psi.lanes();
+    std::vector<std::uint8_t>& accepted = ds.accepted;
+    accepted.assign(static_cast<std::size_t>(lanes), 0);
+    for (int j = 0; j < lanes; ++j) {
+        accepted[static_cast<std::size_t>(j)] =
+            rngs[static_cast<std::size_t>(j)].uniform() <
+                    q[static_cast<std::size_t>(j)]
+                ? 1
+                : 0;
+    }
+    // q already holds each lane's post-scale squared norm (accumulated in
+    // exactly the order a recomputation would), so the normalize can skip
+    // its own O(size * lanes) norm pass.
+    const auto ok = psi.normalize_lanes_with(q, accepted);
+    for (int j = 0; j < lanes; ++j) {
+        if (accepted[static_cast<std::size_t>(j)] != 0 &&
+            ok[static_cast<std::size_t>(j)] == 0) {
+            throw std::runtime_error(
+                "trajectory: no-jump evolution produced a zero-norm state");
+        }
+    }
+    for (int j = 0; j < lanes; ++j) {
+        if (accepted[static_cast<std::size_t>(j)] != 0) {
+            continue;
+        }
+        psi.extract_lane(j, lane);
+        fused_rare_branch(lane, model, dt, ctx,
+                          rngs[static_cast<std::size_t>(j)], scale, inv);
+        psi.set_lane(j, lane);
+    }
+}
+
+/** Batched exact per-wire sequential idle damping (mixed radix / dim > 3):
+ *  populations and the no-jump K0 run lane-parallel per wire; jump lanes
+ *  fall back to the single-shot jump on the extracted lane. */
+void
+apply_idle_damping_sequential_batched(exec::BatchedStateVector& psi,
+                                      const NoiseModel& model, Real dt,
+                                      std::vector<Rng>& rngs,
+                                      StateVector& lane)
+{
+    const WireDims& dims = psi.dims();
+    const int lanes = psi.lanes();
+    const std::size_t B = static_cast<std::size_t>(lanes);
+    std::vector<std::uint8_t> k0_mask(B);
+    for (int w = 0; w < dims.num_wires(); ++w) {
+        const int d = dims.dim(w);
+        const bool nontrivial_k0 = k0_nontrivial(model, dt, d);
+        const std::vector<Real> pops = psi.populations_lanes(w);
+        std::fill(k0_mask.begin(), k0_mask.end(), 0);
+        std::vector<Real> weights(static_cast<std::size_t>(d), 0.0);
+        for (int j = 0; j < lanes; ++j) {
+            const std::size_t uj = static_cast<std::size_t>(j);
+            Real total = 0;
+            for (int m = 1; m < d; ++m) {
+                const Real pj =
+                    model.lambda(m, dt) *
+                    pops[static_cast<std::size_t>(m) * B + uj];
+                weights[static_cast<std::size_t>(m)] = pj;
+                total += pj;
+            }
+            const Real u = rngs[uj].uniform();
+            if (u < total) {
+                Real acc = 0;
+                int level = d - 1;
+                for (int m = 1; m < d; ++m) {
+                    acc += weights[static_cast<std::size_t>(m)];
+                    if (u < acc) {
+                        level = m;
+                        break;
+                    }
+                }
+                psi.extract_lane(j, lane);
+                apply_jump(lane, w, level);
+                psi.set_lane(j, lane);
+            } else if (nontrivial_k0) {
+                k0_mask[uj] = 1;
+            }
+        }
+        if (!nontrivial_k0) {
+            continue;
+        }
+        bool any = false;
+        for (const std::uint8_t m : k0_mask) {
+            any = any || m != 0;
+        }
+        if (!any) {
+            continue;
+        }
+        std::vector<Complex> diag(static_cast<std::size_t>(d));
+        diag[0] = Complex(1, 0);
+        for (int m = 1; m < d; ++m) {
+            diag[static_cast<std::size_t>(m)] =
+                Complex(std::sqrt(1.0 - model.lambda(m, dt)), 0);
+        }
+        psi.apply_diag1_masked(diag, w, k0_mask);
+        const auto ok = psi.normalize_lanes(k0_mask);
+        for (int j = 0; j < lanes; ++j) {
+            if (k0_mask[static_cast<std::size_t>(j)] != 0 &&
+                ok[static_cast<std::size_t>(j)] == 0) {
+                throw std::runtime_error(
+                    "trajectory: no-jump evolution produced a zero-norm "
+                    "state");
+            }
+        }
+    }
+}
+
+/** Batched coherent dephasing kick: per-lane per-wire phase walks fused
+ *  into one product-diagonal pass over all lanes. */
+void
+apply_idle_dephasing_batched(exec::BatchedStateVector& psi,
+                             const NoiseModel& model, Real dt,
+                             std::vector<Rng>& rngs,
+                             BatchNoiseScratch& ds)
+{
+    const WireDims& dims = psi.dims();
+    const int lanes = psi.lanes();
+    const Real s = model.dephasing_sigma * std::sqrt(dt);
+    std::vector<std::vector<std::vector<Complex>>>& factors =
+        ds.dephasing_factors;
+    factors.resize(static_cast<std::size_t>(lanes));
+    for (int j = 0; j < lanes; ++j) {
+        auto& lane_factors = factors[static_cast<std::size_t>(j)];
+        lane_factors.resize(static_cast<std::size_t>(dims.num_wires()));
+        for (int w = 0; w < dims.num_wires(); ++w) {
+            const Real theta = rngs[static_cast<std::size_t>(j)].gaussian() * s;
+            auto& f = lane_factors[static_cast<std::size_t>(w)];
+            f.resize(static_cast<std::size_t>(dims.dim(w)));
+            for (int m = 0; m < dims.dim(w); ++m) {
+                f[static_cast<std::size_t>(m)] =
+                    std::polar(1.0, static_cast<Real>(m) * theta);
+            }
+        }
+    }
+    psi.apply_product_diag_lanes(factors);
+}
+
+/**
+ * Runs trials [start, start + lanes) as one batch: per-lane random initial
+ * states, one batched noiseless pass for the ideal outputs, then the noisy
+ * moment loop advancing all lanes together. Writes each lane's fidelity to
+ * fidelities[start + j].
+ */
+void
+run_trajectory_batch(const NoiseModel& model, const EngineContext& ctx,
+                     const TrajectoryOptions& options, const Rng& root,
+                     int start, int lanes, std::vector<Real>& fidelities,
+                     exec::BatchedScratch& bscratch,
+                     exec::ExecScratch& scratch)
+{
+    const WireDims& dims = ctx.compiled.dims();
+    std::vector<Rng> rngs;
+    rngs.reserve(static_cast<std::size_t>(lanes));
+    exec::BatchedStateVector psi(dims, lanes);
+    for (int j = 0; j < lanes; ++j) {
+        rngs.push_back(root.child(static_cast<std::uint64_t>(start + j)));
+        const StateVector initial =
+            options.qubit_subspace_inputs
+                ? haar_random_qubit_subspace_state(
+                      dims, rngs[static_cast<std::size_t>(j)])
+                : haar_random_state(dims,
+                                    rngs[static_cast<std::size_t>(j)]);
+        psi.set_lane(j, initial);
+    }
+    exec::BatchedStateVector ideal = psi;
+    exec::run_batched(ctx.compiled, ideal, bscratch);
+
+    // The fused no-jump tables depend only on the moment duration, which
+    // takes exactly two values — build each once per batch, not per moment.
+    std::vector<Real> scale_1q, inv_1q, scale_2q, inv_2q;
+    if (model.has_damping() && ctx.accel) {
+        build_damping_tables(model, model.dt_1q, ctx, scale_1q, inv_1q);
+        build_damping_tables(model, model.dt_2q, ctx, scale_2q, inv_2q);
+    }
+
+    StateVector lane(dims);  // reused for per-lane divergent fallbacks
+    BatchNoiseScratch ds;
+    for (const Moment& moment : ctx.moments) {
+        for (const std::size_t idx : moment.op_indices) {
+            exec::apply_op_batched(ctx.compiled.ops()[idx], psi, bscratch);
+            apply_gate_error_batched(psi, ctx.errors[idx], rngs, lane,
+                                     scratch);
+        }
+        const Real dt = model.moment_duration(moment.has_multi_qudit);
+        if (model.has_damping()) {
+            if (ctx.accel) {
+                apply_idle_damping_fused_batched(
+                    psi, model, dt, ctx,
+                    moment.has_multi_qudit ? scale_2q : scale_1q,
+                    moment.has_multi_qudit ? inv_2q : inv_1q, rngs, lane,
+                    ds);
+            } else {
+                apply_idle_damping_sequential_batched(psi, model, dt, rngs,
+                                                      lane);
+            }
+        }
+        if (model.has_dephasing()) {
+            apply_idle_dephasing_batched(psi, model, dt, rngs, ds);
+        }
+    }
+    const std::vector<Real> fid = psi.fidelity_lanes(ideal);
+    for (int j = 0; j < lanes; ++j) {
+        fidelities[static_cast<std::size_t>(start + j)] =
+            fid[static_cast<std::size_t>(j)];
+    }
+}
+
+/** Applies the options' damping-engine override to a fresh context.
+ *  @throws std::invalid_argument if kFused is requested on a register the
+ *          fused operator is undefined for. */
+void
+select_damping_engine(EngineContext& ctx, DampingEngine engine)
+{
+    if (engine == DampingEngine::kSequential) {
+        ctx.accel = false;
+    } else if (engine == DampingEngine::kFused && !ctx.accel) {
+        throw std::invalid_argument(
+            "trajectory: fused damping requires a uniform register with "
+            "dim <= 3");
+    }
+}
+
 }  // namespace
 
 Real
 run_single_trajectory(const Circuit& circuit, const NoiseModel& model,
                       const StateVector& initial,
-                      const StateVector& ideal_out, Rng& rng)
+                      const StateVector& ideal_out, Rng& rng,
+                      DampingEngine engine)
 {
-    const EngineContext ctx(circuit, model);
+    EngineContext ctx(circuit, model);
+    select_damping_engine(ctx, engine);
     exec::ExecScratch scratch;
     return run_trajectory_with_context(model, ctx, initial, ideal_out, rng,
                                        scratch);
@@ -365,6 +711,20 @@ run_noisy_trials(const Circuit& circuit, const NoiseModel& model,
         throw std::invalid_argument(
             "run_noisy_trials: options.trials must be positive");
     }
+    int batch = options.batch;
+    if (batch < 0) {
+        throw std::invalid_argument(
+            "run_noisy_trials: options.batch must be >= 0");
+    }
+    if (batch == 0) {
+        batch = std::min(kDefaultBatchLanes, trials);
+    }
+    // Trials are dealt out in fixed groups of `batch` lanes (the last
+    // group may be narrower, covering trials < batch); lane t always runs
+    // on stream root.child(t), so results are independent of the batch
+    // width and of which worker claims which group.
+    const int num_batches = (trials + batch - 1) / batch;
+
     int threads = options.threads;
     if (threads <= 0) {
         threads = static_cast<int>(std::thread::hardware_concurrency());
@@ -372,21 +732,31 @@ run_noisy_trials(const Circuit& circuit, const NoiseModel& model,
             threads = 1;
         }
     }
-    threads = std::min(threads, trials);
+    threads = std::min(threads, num_batches);
 
-    const EngineContext ctx(circuit, model);
+    EngineContext ctx(circuit, model);
+    select_damping_engine(ctx, options.damping_engine);
     std::vector<Real> fidelities(static_cast<std::size_t>(trials), 0.0);
     std::atomic<int> next{0};
     const Rng root(options.seed);
 
     auto worker = [&]() {
         exec::ExecScratch scratch;  // reused across this worker's trials
+        exec::BatchedScratch bscratch;
         for (;;) {
-            const int t = next.fetch_add(1);
-            if (t >= trials) {
+            const int g = next.fetch_add(1);
+            if (g >= num_batches) {
                 return;
             }
-            // Child streams make results independent of thread scheduling.
+            const int start = g * batch;
+            const int lanes = std::min(batch, trials - start);
+            if (lanes > 1) {
+                run_trajectory_batch(model, ctx, options, root, start, lanes,
+                                     fidelities, bscratch, scratch);
+                continue;
+            }
+            // Single-lane group: the per-shot reference path.
+            const int t = start;
             Rng rng = root.child(static_cast<std::uint64_t>(t));
             StateVector initial =
                 options.qubit_subspace_inputs
@@ -425,6 +795,9 @@ run_noisy_trials(const Circuit& circuit, const NoiseModel& model,
             (sum_sq - sum * sum / trials) / static_cast<Real>(trials - 1);
         result.std_error = std::sqrt(std::max<Real>(var, 0) /
                                      static_cast<Real>(trials));
+    }
+    if (options.keep_per_trial) {
+        result.per_trial = std::move(fidelities);
     }
     return result;
 }

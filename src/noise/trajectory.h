@@ -20,6 +20,13 @@
  * depolarizing error unitary the loop can draw is precompiled against the
  * same plans, so each of the thousands of shots replays allocation-free
  * kernel dispatches instead of re-deriving index arithmetic per gate.
+ * On top of that, shots run B at a time through an
+ * exec::BatchedStateVector (amplitude-major lanes): one pass over the
+ * compiled circuit advances B trajectories, amortising every plan/offset-
+ * table read across the batch. Each trial keeps its own RNG stream
+ * (root.child(t)) and divergent per-lane events (damping jumps, gate-error
+ * draws) fall back to the single-shot code on the extracted lane, so
+ * results are BITWISE independent of the batch width and thread count.
  */
 #ifndef NOISE_TRAJECTORY_H
 #define NOISE_TRAJECTORY_H
@@ -34,6 +41,18 @@
 
 namespace qd::noise {
 
+/**
+ * Which idle amplitude-damping implementation trials run on.
+ * kAuto picks kFused for uniform registers with dim <= 3 and kSequential
+ * otherwise; the explicit values exist so tests can cross-validate the two
+ * engines on the same workload (they agree in distribution).
+ */
+enum class DampingEngine {
+    kAuto,
+    kFused,      ///< joint no-jump operator, one table-scaled pass
+    kSequential, ///< exact per-wire loop (paper Algorithm 1)
+};
+
 /** Options for a batch of trajectory trials. */
 struct TrajectoryOptions {
     int trials = 100;
@@ -45,6 +64,19 @@ struct TrajectoryOptions {
      * inputs and outputs are qubits) when true; full-space Haar when false.
      */
     bool qubit_subspace_inputs = true;
+    /**
+     * Trajectories advanced per batched circuit pass: 0 = auto (a
+     * cache-tuned default, currently min(12, trials) — see
+     * kDefaultBatchLanes in trajectory.cc), 1 = the per-shot reference
+     * path, B > 1 = B-lane exec::BatchedStateVector execution. Per-trial
+     * results are bitwise identical for every setting (lane equivalence
+     * is property-tested).
+     */
+    int batch = 0;
+    /** Idle-damping implementation; see DampingEngine. */
+    DampingEngine damping_engine = DampingEngine::kAuto;
+    /** Record every trial's fidelity in TrajectoryResult::per_trial. */
+    bool keep_per_trial = false;
 };
 
 /** Aggregated fidelity statistics. */
@@ -52,6 +84,9 @@ struct TrajectoryResult {
     Real mean_fidelity = 0;
     Real std_error = 0;  ///< 1-sigma standard error of the mean
     int trials = 0;
+    /** Per-trial fidelities, trial order; filled iff
+     *  TrajectoryOptions::keep_per_trial. */
+    std::vector<Real> per_trial;
 
     Real two_sigma() const { return 2 * std_error; }
 };
@@ -60,18 +95,27 @@ struct TrajectoryResult {
  * Runs one noisy trajectory of `circuit` from `initial`, comparing against
  * `ideal_out` (the noiseless output for the same input).
  * Exposed for tests; most callers use run_noisy_trials.
+ *
+ * @throws std::invalid_argument if `engine` is kFused but the register is
+ *         mixed-radix or has dim > 3 (the fused operator is undefined
+ *         there).
  */
 Real run_single_trajectory(const Circuit& circuit, const NoiseModel& model,
                            const StateVector& initial,
-                           const StateVector& ideal_out, Rng& rng);
+                           const StateVector& ideal_out, Rng& rng,
+                           DampingEngine engine = DampingEngine::kAuto);
 
 /**
  * Runs `options.trials` independent trajectories with per-trial random
  * initial states, in parallel, and aggregates mean fidelity and its
- * standard error. Reproducible for a fixed seed regardless of thread
- * count.
+ * standard error. Trials run `options.batch` lanes at a time through the
+ * batched execution engine; per-trial results are reproducible for a
+ * fixed seed regardless of thread count AND batch width (lane t always
+ * consumes stream root.child(t)).
  *
- * @throws std::invalid_argument if options.trials <= 0.
+ * @throws std::invalid_argument if options.trials <= 0, options.batch < 0,
+ *         or options.damping_engine is kFused on a register the fused
+ *         operator is undefined for (mixed radix or dim > 3).
  */
 TrajectoryResult run_noisy_trials(const Circuit& circuit,
                                   const NoiseModel& model,

@@ -1,0 +1,371 @@
+#include "qdsim/exec/batched_kernels.h"
+
+#include "qdsim/exec/simd.h"
+
+#include <cstdint>
+
+namespace qd::exec {
+
+namespace {
+
+/** Same outer-block parallelism threshold as the single-shot kernels
+ *  (kernels.cc): below it the batch's parallelism is across shots, not
+ *  inside one gate. */
+constexpr Index kParallelOuter = Index{1} << 13;
+
+// Inner lane loops run on re/im doubles (std::complex array-oriented
+// access): the expression trees match the single-shot complex arithmetic
+// exactly — (a*b).re == a.re*b.re - a.im*b.im bitwise at runtime — so
+// lanes stay bit-identical to unbatched shots while the loops vectorise
+// and skip libstdc++'s complex-multiply NaN-recovery branches.
+inline Real*
+as_reals(Complex* p)
+{
+    return reinterpret_cast<Real*>(p);
+}
+
+inline const Real*
+as_reals(const Complex* p)
+{
+    return reinterpret_cast<const Real*>(p);
+}
+
+void
+run_permutation_b(const CompiledOp& op, Complex* amps, const std::size_t B,
+                  BatchedScratch& scratch)
+{
+    const ApplyPlan& plan = *op.plan;
+    const std::int64_t nouter =
+        static_cast<std::int64_t>(plan.outer_count());
+    const Index* cyc = op.cycle_offsets.data();
+    const std::uint32_t* lens = op.cycle_lengths.data();
+    const std::size_t ncycles = op.cycle_lengths.size();
+    auto do_block = [&](Index base, Complex* tmp) {
+        const Index* c = cyc;
+        for (std::size_t j = 0; j < ncycles; ++j) {
+            const std::uint32_t len = lens[j];
+            const Complex* last = amps + (base + c[len - 1]) * B;
+            for (std::size_t b = 0; b < B; ++b) {
+                tmp[b] = last[b];
+            }
+            for (std::uint32_t i = len - 1; i >= 1; --i) {
+                Complex* dst = amps + (base + c[i]) * B;
+                const Complex* src = amps + (base + c[i - 1]) * B;
+                for (std::size_t b = 0; b < B; ++b) {
+                    dst[b] = src[b];
+                }
+            }
+            Complex* first = amps + (base + c[0]) * B;
+            for (std::size_t b = 0; b < B; ++b) {
+                first[b] = tmp[b];
+            }
+            c += len;
+        }
+    };
+#ifdef _OPENMP
+    if (nouter >= static_cast<std::int64_t>(kParallelOuter)) {
+#pragma omp parallel
+        {
+            std::vector<Complex> tmp(B);
+#pragma omp for schedule(static)
+            for (std::int64_t o = 0; o < nouter; ++o) {
+                do_block(plan.base_of(static_cast<Index>(o)), tmp.data());
+            }
+        }
+        return;
+    }
+#endif
+    if (scratch.tmp.size() < B) {
+        scratch.tmp.resize(B);
+    }
+    for (std::int64_t o = 0; o < nouter; ++o) {
+        do_block(plan.base_of(static_cast<Index>(o)), scratch.tmp.data());
+    }
+}
+
+void
+run_diagonal_b(const CompiledOp& op, Complex* amps, const std::size_t B)
+{
+    const ApplyPlan& plan = *op.plan;
+    const Index* off = plan.local_offset.data();
+    const Complex* diag = op.diag.data();
+    const Index block = plan.block;
+    const std::int64_t nouter =
+        static_cast<std::int64_t>(plan.outer_count());
+    auto do_block = [&](Index base) {
+        for (Index b = 0; b < block; ++b) {
+            const Real fr = diag[b].real(), fi = diag[b].imag();
+            Real* d = as_reals(amps + (base + off[b]) * B);
+            QD_SIMD
+            for (std::size_t l = 0; l < B; ++l) {
+                const Real ar = d[2 * l], ai = d[2 * l + 1];
+                d[2 * l] = ar * fr - ai * fi;
+                d[2 * l + 1] = ar * fi + ai * fr;
+            }
+        }
+    };
+#ifdef _OPENMP
+    if (nouter >= static_cast<std::int64_t>(kParallelOuter)) {
+#pragma omp parallel for schedule(static)
+        for (std::int64_t o = 0; o < nouter; ++o) {
+            do_block(plan.base_of(static_cast<Index>(o)));
+        }
+        return;
+    }
+#endif
+    for (std::int64_t o = 0; o < nouter; ++o) {
+        do_block(plan.base_of(static_cast<Index>(o)));
+    }
+}
+
+void
+run_single_d2_b(const CompiledOp& op, Complex* amps, Index total,
+                const std::size_t B)
+{
+    const Complex u00 = op.u[0], u01 = op.u[1];
+    const Complex u10 = op.u[2], u11 = op.u[3];
+    const Index stride = op.stride1, period = op.period1;
+    const std::int64_t nchunks = static_cast<std::int64_t>(total / period);
+    const std::size_t jump = static_cast<std::size_t>(stride) * B;
+    const Real u00r = u00.real(), u00i = u00.imag();
+    const Real u01r = u01.real(), u01i = u01.imag();
+    const Real u10r = u10.real(), u10i = u10.imag();
+    const Real u11r = u11.real(), u11i = u11.imag();
+    auto do_chunk = [&](Index start) {
+        Complex* p0 = amps + start * B;
+        for (Index i = 0; i < stride; ++i, p0 += B) {
+            Real* d0 = as_reals(p0);
+            Real* d1 = as_reals(p0 + jump);
+            QD_SIMD
+            for (std::size_t b = 0; b < B; ++b) {
+                const Real a0r = d0[2 * b], a0i = d0[2 * b + 1];
+                const Real a1r = d1[2 * b], a1i = d1[2 * b + 1];
+                d0[2 * b] = (u00r * a0r - u00i * a0i) +
+                            (u01r * a1r - u01i * a1i);
+                d0[2 * b + 1] = (u00r * a0i + u00i * a0r) +
+                                (u01r * a1i + u01i * a1r);
+                d1[2 * b] = (u10r * a0r - u10i * a0i) +
+                            (u11r * a1r - u11i * a1i);
+                d1[2 * b + 1] = (u10r * a0i + u10i * a0r) +
+                                (u11r * a1i + u11i * a1r);
+            }
+        }
+    };
+#ifdef _OPENMP
+    if (nchunks >= static_cast<std::int64_t>(kParallelOuter)) {
+#pragma omp parallel for schedule(static)
+        for (std::int64_t c = 0; c < nchunks; ++c) {
+            do_chunk(static_cast<Index>(c) * period);
+        }
+        return;
+    }
+#endif
+    for (std::int64_t c = 0; c < nchunks; ++c) {
+        do_chunk(static_cast<Index>(c) * period);
+    }
+}
+
+void
+run_single_d3_b(const CompiledOp& op, Complex* amps, Index total,
+                const std::size_t B)
+{
+    const Complex u00 = op.u[0], u01 = op.u[1], u02 = op.u[2];
+    const Complex u10 = op.u[3], u11 = op.u[4], u12 = op.u[5];
+    const Complex u20 = op.u[6], u21 = op.u[7], u22 = op.u[8];
+    const Index stride = op.stride1, period = op.period1;
+    const std::int64_t nchunks = static_cast<std::int64_t>(total / period);
+    const std::size_t jump = static_cast<std::size_t>(stride) * B;
+    auto do_chunk = [&](Index start) {
+        Complex* p0 = amps + start * B;
+        for (Index i = 0; i < stride; ++i, p0 += B) {
+            Real* d0 = as_reals(p0);
+            Real* d1 = as_reals(p0 + jump);
+            Real* d2 = as_reals(p0 + 2 * jump);
+            QD_SIMD
+            for (std::size_t b = 0; b < B; ++b) {
+                const Real a0r = d0[2 * b], a0i = d0[2 * b + 1];
+                const Real a1r = d1[2 * b], a1i = d1[2 * b + 1];
+                const Real a2r = d2[2 * b], a2i = d2[2 * b + 1];
+                d0[2 * b] = (u00.real() * a0r - u00.imag() * a0i) +
+                            (u01.real() * a1r - u01.imag() * a1i) +
+                            (u02.real() * a2r - u02.imag() * a2i);
+                d0[2 * b + 1] = (u00.real() * a0i + u00.imag() * a0r) +
+                                (u01.real() * a1i + u01.imag() * a1r) +
+                                (u02.real() * a2i + u02.imag() * a2r);
+                d1[2 * b] = (u10.real() * a0r - u10.imag() * a0i) +
+                            (u11.real() * a1r - u11.imag() * a1i) +
+                            (u12.real() * a2r - u12.imag() * a2i);
+                d1[2 * b + 1] = (u10.real() * a0i + u10.imag() * a0r) +
+                                (u11.real() * a1i + u11.imag() * a1r) +
+                                (u12.real() * a2i + u12.imag() * a2r);
+                d2[2 * b] = (u20.real() * a0r - u20.imag() * a0i) +
+                            (u21.real() * a1r - u21.imag() * a1i) +
+                            (u22.real() * a2r - u22.imag() * a2i);
+                d2[2 * b + 1] = (u20.real() * a0i + u20.imag() * a0r) +
+                                (u21.real() * a1i + u21.imag() * a1r) +
+                                (u22.real() * a2i + u22.imag() * a2r);
+            }
+        }
+    };
+#ifdef _OPENMP
+    if (nchunks >= static_cast<std::int64_t>(kParallelOuter)) {
+#pragma omp parallel for schedule(static)
+        for (std::int64_t c = 0; c < nchunks; ++c) {
+            do_chunk(static_cast<Index>(c) * period);
+        }
+        return;
+    }
+#endif
+    for (std::int64_t c = 0; c < nchunks; ++c) {
+        do_chunk(static_cast<Index>(c) * period);
+    }
+}
+
+/**
+ * Shared gather / per-lane matvec core of the controlled and dense
+ * kernels: `off` lists `nb` block offsets relative to `base`, and `m` is
+ * the row-major nb x nb operator. The originals are gathered into `in`
+ * once, so each output row can accumulate in registers and store straight
+ * back to the state — no zero-fill or scatter pass. Per lane the
+ * accumulation runs 0 + row[0]*in[0] + row[1]*in[1] + ... in column
+ * order, matching the single-shot kernels bitwise.
+ */
+void
+matvec_block_b(Complex* amps, Index base, const Index* off, Index nb,
+               const Complex* m, const std::size_t B, Complex* in)
+{
+    for (Index b = 0; b < nb; ++b) {
+        const Complex* src = amps + (base + off[b]) * B;
+        Complex* dst = in + static_cast<std::size_t>(b) * B;
+        for (std::size_t l = 0; l < B; ++l) {
+            dst[l] = src[l];
+        }
+    }
+    // The gather buffer never aliases the state, and the matrix row is
+    // hoisted into locals, so the lane loop runs on registers; without the
+    // restrict/hoist the compiler re-loads every operand per lane against
+    // possible aliasing with the output stores.
+    const Real* __restrict din = as_reals(in);
+    constexpr Index kUnrollCap = 8;
+    Real fr[kUnrollCap], fi[kUnrollCap];
+    for (Index r = 0; r < nb; ++r) {
+        const Complex* row = m + r * nb;
+        Real* __restrict dst = as_reals(amps + (base + off[r]) * B);
+        if (nb <= kUnrollCap) {
+            for (Index c = 0; c < nb; ++c) {
+                fr[c] = row[c].real();
+                fi[c] = row[c].imag();
+            }
+            QD_SIMD
+            for (std::size_t l = 0; l < B; ++l) {
+                Real accr = 0.0, acci = 0.0;
+                for (Index c = 0; c < nb; ++c) {
+                    const Real sr =
+                        din[static_cast<std::size_t>(c) * 2 * B + 2 * l];
+                    const Real si =
+                        din[static_cast<std::size_t>(c) * 2 * B + 2 * l + 1];
+                    accr += fr[c] * sr - fi[c] * si;
+                    acci += fr[c] * si + fi[c] * sr;
+                }
+                dst[2 * l] = accr;
+                dst[2 * l + 1] = acci;
+            }
+            continue;
+        }
+        QD_SIMD
+        for (std::size_t l = 0; l < B; ++l) {
+            Real accr = 0.0, acci = 0.0;
+            for (Index c = 0; c < nb; ++c) {
+                const Real cr = row[c].real(), ci = row[c].imag();
+                const Real sr =
+                    din[static_cast<std::size_t>(c) * 2 * B + 2 * l];
+                const Real si =
+                    din[static_cast<std::size_t>(c) * 2 * B + 2 * l + 1];
+                accr += cr * sr - ci * si;
+                acci += cr * si + ci * sr;
+            }
+            dst[2 * l] = accr;
+            dst[2 * l + 1] = acci;
+        }
+    }
+}
+
+void
+run_block_matvec_b(const CompiledOp& op, Complex* amps, const std::size_t B,
+                   BatchedScratch& scratch, const Index* off, Index nb,
+                   const Complex* m, Index extra_offset)
+{
+    const ApplyPlan& plan = *op.plan;
+    const std::int64_t nouter =
+        static_cast<std::int64_t>(plan.outer_count());
+    const std::size_t need = static_cast<std::size_t>(nb) * B;
+#ifdef _OPENMP
+    if (nouter >= static_cast<std::int64_t>(kParallelOuter)) {
+#pragma omp parallel
+        {
+            std::vector<Complex> in(need);
+#pragma omp for schedule(static)
+            for (std::int64_t o = 0; o < nouter; ++o) {
+                matvec_block_b(amps,
+                               plan.base_of(static_cast<Index>(o)) +
+                                   extra_offset,
+                               off, nb, m, B, in.data());
+            }
+        }
+        return;
+    }
+#endif
+    if (scratch.in.size() < need) {
+        scratch.in.resize(need);
+    }
+    for (std::int64_t o = 0; o < nouter; ++o) {
+        matvec_block_b(amps,
+                       plan.base_of(static_cast<Index>(o)) + extra_offset,
+                       off, nb, m, B, scratch.in.data());
+    }
+}
+
+}  // namespace
+
+void
+apply_op_batched(const CompiledOp& op, BatchedStateVector& psi,
+                 BatchedScratch& scratch)
+{
+    Complex* amps = psi.data();
+    const std::size_t B = static_cast<std::size_t>(psi.lanes());
+    switch (op.kind) {
+        case KernelKind::kPermutation:
+            run_permutation_b(op, amps, B, scratch);
+            return;
+        case KernelKind::kDiagonal:
+            run_diagonal_b(op, amps, B);
+            return;
+        case KernelKind::kSingleWireD2:
+            run_single_d2_b(op, amps, psi.size(), B);
+            return;
+        case KernelKind::kSingleWireD3:
+            run_single_d3_b(op, amps, psi.size(), B);
+            return;
+        case KernelKind::kControlled:
+            run_block_matvec_b(op, amps, B, scratch, op.inner_offset.data(),
+                               static_cast<Index>(op.inner_offset.size()),
+                               op.inner.data().data(), op.ctrl_offset);
+            return;
+        case KernelKind::kDense:
+            run_block_matvec_b(op, amps, B, scratch,
+                               op.plan->local_offset.data(), op.plan->block,
+                               op.gate.matrix().data().data(), 0);
+            return;
+    }
+}
+
+void
+run_batched(const CompiledCircuit& compiled, BatchedStateVector& psi,
+            BatchedScratch& scratch)
+{
+    for (const CompiledOp& op : compiled.ops()) {
+        apply_op_batched(op, psi, scratch);
+    }
+}
+
+}  // namespace qd::exec

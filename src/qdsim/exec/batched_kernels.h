@@ -1,0 +1,47 @@
+/**
+ * @file batched_kernels.h
+ * Batched variants of the specialized gate-application kernels.
+ *
+ * `apply_op_batched` executes one CompiledOp over every lane of a
+ * BatchedStateVector in a single pass: the plan's offset tables and the
+ * gate payload are read once per amplitude block instead of once per shot,
+ * and the per-amplitude work runs over the B contiguous lanes with
+ * `QD_SIMD` inner loops. Outer blocks go parallel via OpenMP on large
+ * registers exactly like the single-shot kernels.
+ *
+ * Per lane, every kernel performs the same floating-point operations in
+ * the same order as its single-shot counterpart in kernels.cc, so lane b
+ * of a batched pass is bitwise identical to an unbatched apply_op on the
+ * same state (property-tested in tests/qdsim/test_batched.cc). That is
+ * what lets the trajectory engine mix batched passes with per-lane
+ * single-shot fallbacks for divergent events.
+ */
+#ifndef QDSIM_EXEC_BATCHED_KERNELS_H
+#define QDSIM_EXEC_BATCHED_KERNELS_H
+
+#include "qdsim/exec/batched_state.h"
+#include "qdsim/exec/compiled_circuit.h"
+#include "qdsim/exec/kernels.h"
+
+namespace qd::exec {
+
+/** Reusable lane-major buffers, one per executing thread, grown on demand
+ *  like ExecScratch: `in` gathers operand blocks for the matvec kernels
+ *  (outputs store straight back to the state, so there is no scatter
+ *  buffer), `tmp` holds one lane row during permutation cycle walks. */
+struct BatchedScratch {
+    std::vector<Complex> in, tmp;
+};
+
+/** Executes a compiled operation on every lane in place. `psi` must be
+ *  over the dims the op was compiled for. */
+void apply_op_batched(const CompiledOp& op, BatchedStateVector& psi,
+                      BatchedScratch& scratch);
+
+/** Applies all operations of a compiled circuit to every lane in order. */
+void run_batched(const CompiledCircuit& compiled, BatchedStateVector& psi,
+                 BatchedScratch& scratch);
+
+}  // namespace qd::exec
+
+#endif  // QDSIM_EXEC_BATCHED_KERNELS_H

@@ -1,0 +1,436 @@
+#include "qdsim/exec/batched_state.h"
+
+#include "qdsim/exec/simd.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qd::exec {
+
+namespace {
+
+std::size_t
+checked_lane_count(int lanes)
+{
+    if (lanes < 1) {
+        throw std::invalid_argument(
+            "BatchedStateVector: lane count must be >= 1");
+    }
+    return static_cast<std::size_t>(lanes);
+}
+
+// The hot lane loops below run on re/im doubles via the std::complex
+// array-oriented-access guarantee: a real-factor complex multiply is two
+// independent double multiplies and |z|^2 is re*re + im*im — the exact
+// expression trees of the StateVector counterparts, so per-lane results
+// stay bitwise identical while the loops vectorise and skip libstdc++'s
+// complex-multiply NaN-recovery branches.
+
+/** Mutable double view of a lane-contiguous Complex run. */
+inline Real*
+as_reals(Complex* p)
+{
+    return reinterpret_cast<Real*>(p);
+}
+
+inline const Real*
+as_reals(const Complex* p)
+{
+    return reinterpret_cast<const Real*>(p);
+}
+
+/**
+ * ns[b] = sum over the n amplitudes of lane b of re^2 + im^2, accumulated
+ * in amplitude-index order (the StateVector::norm accumulation order, so
+ * per-lane sums are bitwise reproducible). Lanes are processed in tiles of
+ * four with register accumulators: a single flat loop would re-load and
+ * re-store ns[b] per amplitude because the compiler cannot prove the
+ * accumulator array does not alias the amplitudes.
+ */
+void
+accumulate_norm_sq(const Real* d, std::size_t n, std::size_t B, Real* ns)
+{
+    std::size_t b = 0;
+    for (; b + 4 <= B; b += 4) {
+        Real a0 = 0, a1 = 0, a2 = 0, a3 = 0;
+        const Real* p = d + 2 * b;
+        for (std::size_t i = 0; i < n; ++i, p += 2 * B) {
+            a0 += p[0] * p[0] + p[1] * p[1];
+            a1 += p[2] * p[2] + p[3] * p[3];
+            a2 += p[4] * p[4] + p[5] * p[5];
+            a3 += p[6] * p[6] + p[7] * p[7];
+        }
+        ns[b] = a0;
+        ns[b + 1] = a1;
+        ns[b + 2] = a2;
+        ns[b + 3] = a3;
+    }
+    for (; b < B; ++b) {
+        Real acc = 0;
+        const Real* p = d + 2 * b;
+        for (std::size_t i = 0; i < n; ++i, p += 2 * B) {
+            acc += p[0] * p[0] + p[1] * p[1];
+        }
+        ns[b] = acc;
+    }
+}
+
+}  // namespace
+
+BatchedStateVector::BatchedStateVector(WireDims dims, int lanes)
+    : dims_(std::move(dims)), lanes_(lanes),
+      amps_(static_cast<std::size_t>(dims_.size()) * checked_lane_count(lanes),
+            Complex(0, 0)) {
+    for (int b = 0; b < lanes_; ++b) {
+        amps_[static_cast<std::size_t>(b)] = Complex(1, 0);
+    }
+}
+
+void
+BatchedStateVector::set_lane(int lane, const StateVector& src)
+{
+    if (!(src.dims() == dims_)) {
+        throw std::invalid_argument("set_lane: dimension mismatch");
+    }
+    const Complex* s = src.amplitudes().data();
+    const std::size_t B = static_cast<std::size_t>(lanes_);
+    const std::size_t n = static_cast<std::size_t>(dims_.size());
+    Complex* a = amps_.data() + static_cast<std::size_t>(lane);
+    for (std::size_t i = 0; i < n; ++i) {
+        a[i * B] = s[i];
+    }
+}
+
+void
+BatchedStateVector::extract_lane(int lane, StateVector& dst) const
+{
+    if (!(dst.dims() == dims_)) {
+        throw std::invalid_argument("extract_lane: dimension mismatch");
+    }
+    Complex* d = dst.amplitudes().data();
+    const std::size_t B = static_cast<std::size_t>(lanes_);
+    const std::size_t n = static_cast<std::size_t>(dims_.size());
+    const Complex* a = amps_.data() + static_cast<std::size_t>(lane);
+    for (std::size_t i = 0; i < n; ++i) {
+        d[i] = a[i * B];
+    }
+}
+
+StateVector
+BatchedStateVector::lane_state(int lane) const
+{
+    std::vector<Complex> out(static_cast<std::size_t>(dims_.size()));
+    const std::size_t B = static_cast<std::size_t>(lanes_);
+    const Complex* a = amps_.data() + static_cast<std::size_t>(lane);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        out[i] = a[i * B];
+    }
+    return StateVector::from_amplitudes(dims_, std::move(out));
+}
+
+std::vector<Real>
+BatchedStateVector::scale_by_table_lanes(
+    const std::vector<std::uint16_t>& key, const std::vector<Real>& scale)
+{
+    const std::size_t n = static_cast<std::size_t>(dims_.size());
+    if (key.size() != n) {
+        throw std::invalid_argument(
+            "scale_by_table_lanes: key size mismatch");
+    }
+    const std::size_t B = static_cast<std::size_t>(lanes_);
+    std::vector<Real> norm_sq(B);
+    // Lane tiles of four with register accumulators, scaling and
+    // accumulating in one traversal; per lane the multiply-then-accumulate
+    // runs in amplitude-index order, so the result matches
+    // StateVector::scale_by_table bitwise. (A flat lane loop would
+    // re-load/re-store the accumulator array per amplitude against
+    // possible aliasing with the amplitudes.)
+    Real* const base = as_reals(amps_.data());
+    const std::uint16_t* __restrict k = key.data();
+    const Real* __restrict s = scale.data();
+    std::size_t b = 0;
+    for (; b + 4 <= B; b += 4) {
+        Real a0 = 0, a1 = 0, a2 = 0, a3 = 0;
+        Real* __restrict p = base + 2 * b;
+        for (std::size_t i = 0; i < n; ++i, p += 2 * B) {
+            const Real f = s[k[i]];
+            p[0] *= f;
+            p[1] *= f;
+            p[2] *= f;
+            p[3] *= f;
+            p[4] *= f;
+            p[5] *= f;
+            p[6] *= f;
+            p[7] *= f;
+            a0 += p[0] * p[0] + p[1] * p[1];
+            a1 += p[2] * p[2] + p[3] * p[3];
+            a2 += p[4] * p[4] + p[5] * p[5];
+            a3 += p[6] * p[6] + p[7] * p[7];
+        }
+        norm_sq[b] = a0;
+        norm_sq[b + 1] = a1;
+        norm_sq[b + 2] = a2;
+        norm_sq[b + 3] = a3;
+    }
+    for (; b < B; ++b) {
+        Real acc = 0;
+        Real* __restrict p = base + 2 * b;
+        for (std::size_t i = 0; i < n; ++i, p += 2 * B) {
+            const Real f = s[k[i]];
+            p[0] *= f;
+            p[1] *= f;
+            acc += p[0] * p[0] + p[1] * p[1];
+        }
+        norm_sq[b] = acc;
+    }
+    return norm_sq;
+}
+
+std::vector<Real>
+BatchedStateVector::norm_sq_lanes() const
+{
+    const std::size_t n = static_cast<std::size_t>(dims_.size());
+    const std::size_t B = static_cast<std::size_t>(lanes_);
+    std::vector<Real> norm_sq(B);
+    accumulate_norm_sq(as_reals(amps_.data()), n, B, norm_sq.data());
+    return norm_sq;
+}
+
+std::vector<std::uint8_t>
+BatchedStateVector::normalize_lanes(const std::vector<std::uint8_t>& mask)
+{
+    return normalize_lanes_with(norm_sq_lanes(), mask);
+}
+
+std::vector<std::uint8_t>
+BatchedStateVector::normalize_lanes_with(const std::vector<Real>& norm_sq,
+                                         const std::vector<std::uint8_t>& mask)
+{
+    const std::size_t B = static_cast<std::size_t>(lanes_);
+    if (!mask.empty() && mask.size() != B) {
+        throw std::invalid_argument("normalize_lanes: mask size mismatch");
+    }
+    if (norm_sq.size() != B) {
+        throw std::invalid_argument("normalize_lanes: norm count mismatch");
+    }
+    std::vector<std::uint8_t> ok(B, 1);
+    // inv == 1 leaves deselected/failed lanes untouched; selected lanes get
+    // exactly StateVector::normalize's sqrt-then-reciprocal scaling.
+    std::vector<Real> inv(B, 1.0);
+    bool any = false;
+    for (std::size_t b = 0; b < B; ++b) {
+        if (!mask.empty() && mask[b] == 0) {
+            continue;
+        }
+        const Real nrm = std::sqrt(norm_sq[b]);
+        if (nrm <= 0 || !std::isfinite(nrm)) {
+            ok[b] = 0;
+            continue;
+        }
+        inv[b] = 1.0 / nrm;
+        any = true;
+    }
+    if (!any) {
+        return ok;
+    }
+    // Lane factors expanded to re/im pairs: deselected/failed lanes carry
+    // exactly 1.0, whose multiply is a bitwise no-op on finite values.
+    std::vector<Real> inv2(2 * B);
+    for (std::size_t b = 0; b < B; ++b) {
+        inv2[2 * b] = inv[b];
+        inv2[2 * b + 1] = inv[b];
+    }
+    const std::size_t n = static_cast<std::size_t>(dims_.size());
+    Real* __restrict d = as_reals(amps_.data());
+    const Real* __restrict f = inv2.data();
+    for (std::size_t i = 0; i < n; ++i, d += 2 * B) {
+        QD_SIMD
+        for (std::size_t k = 0; k < 2 * B; ++k) {
+            d[k] *= f[k];
+        }
+    }
+    return ok;
+}
+
+std::vector<Real>
+BatchedStateVector::populations_lanes(int wire) const
+{
+    const Index stride = dims_.stride(wire);
+    const int d = dims_.dim(wire);
+    const Index period = stride * static_cast<Index>(d);
+    const Index total = dims_.size();
+    const std::size_t B = static_cast<std::size_t>(lanes_);
+    std::vector<Real> acc(static_cast<std::size_t>(d) * B, 0.0);
+    // Mirrors StateVector::populations: per (start, level) run, accumulate
+    // into a local partial sum, then fold it into the level total — the
+    // same order keeps each lane bitwise equal to its unbatched shot.
+    std::vector<Real> s(B);
+    for (Index start = 0; start < total; start += period) {
+        for (int v = 0; v < d; ++v) {
+            std::fill(s.begin(), s.end(), 0.0);
+            const Complex* p =
+                amps_.data() +
+                static_cast<std::size_t>(start +
+                                         static_cast<Index>(v) * stride) *
+                    B;
+            for (Index i = 0; i < stride; ++i, p += B) {
+                const Real* d = as_reals(p);
+                QD_SIMD
+                for (std::size_t b = 0; b < B; ++b) {
+                    s[b] += d[2 * b] * d[2 * b] + d[2 * b + 1] * d[2 * b + 1];
+                }
+            }
+            Real* lvl = acc.data() + static_cast<std::size_t>(v) * B;
+            for (std::size_t b = 0; b < B; ++b) {
+                lvl[b] += s[b];
+            }
+        }
+    }
+    return acc;
+}
+
+void
+BatchedStateVector::apply_diag1_masked(const std::vector<Complex>& diag,
+                                       int wire,
+                                       const std::vector<std::uint8_t>& mask)
+{
+    const int d = dims_.dim(wire);
+    if (static_cast<int>(diag.size()) != d) {
+        throw std::invalid_argument(
+            "apply_diag1_masked: diagonal size mismatch");
+    }
+    const std::size_t B = static_cast<std::size_t>(lanes_);
+    if (!mask.empty() && mask.size() != B) {
+        throw std::invalid_argument("apply_diag1_masked: mask size mismatch");
+    }
+    const Index stride = dims_.stride(wire);
+    const Index period = stride * static_cast<Index>(d);
+    const Index total = dims_.size();
+    for (Index start = 0; start < total; start += period) {
+        for (int v = 0; v < d; ++v) {
+            const Complex f = diag[static_cast<std::size_t>(v)];
+            if (f == Complex(1, 0)) {
+                continue;  // same skip as StateVector::apply_diag1
+            }
+            Complex* p =
+                amps_.data() +
+                static_cast<std::size_t>(start +
+                                         static_cast<Index>(v) * stride) *
+                    B;
+            for (Index i = 0; i < stride; ++i, p += B) {
+                for (std::size_t b = 0; b < B; ++b) {
+                    if (mask.empty() || mask[b] != 0) {
+                        p[b] *= f;
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+BatchedStateVector::apply_product_diag_lanes(
+    const std::vector<std::vector<std::vector<Complex>>>& factors)
+{
+    const int n = dims_.num_wires();
+    const std::size_t B = static_cast<std::size_t>(lanes_);
+    if (factors.size() != B) {
+        throw std::invalid_argument(
+            "apply_product_diag_lanes: lane count mismatch");
+    }
+    for (const auto& lane_factors : factors) {
+        if (static_cast<int>(lane_factors.size()) != n) {
+            throw std::invalid_argument(
+                "apply_product_diag_lanes: factor count mismatch");
+        }
+    }
+    // One odometer drives all lanes (the digit sequence only depends on the
+    // dims); each lane's running product follows the exact multiply/divide
+    // sequence of StateVector::apply_product_diag.
+    std::vector<int> odo(static_cast<std::size_t>(n), 0);
+    std::vector<Complex> cur(B, Complex(1, 0));
+    for (std::size_t b = 0; b < B; ++b) {
+        for (int w = 0; w < n; ++w) {
+            cur[b] *= factors[b][static_cast<std::size_t>(w)][0];
+        }
+    }
+    std::vector<Real> cur2(2 * B);
+    const Index total = dims_.size();
+    Complex* a = amps_.data();
+    for (Index idx = 0;; ++idx, a += B) {
+        for (std::size_t b = 0; b < B; ++b) {
+            cur2[2 * b] = cur[b].real();
+            cur2[2 * b + 1] = cur[b].imag();
+        }
+        Real* d = as_reals(a);
+        QD_SIMD
+        for (std::size_t b = 0; b < B; ++b) {
+            const Real ar = d[2 * b], ai = d[2 * b + 1];
+            d[2 * b] = ar * cur2[2 * b] - ai * cur2[2 * b + 1];
+            d[2 * b + 1] = ar * cur2[2 * b + 1] + ai * cur2[2 * b];
+        }
+        if (idx + 1 >= total) {
+            break;
+        }
+        for (int w = n - 1;; --w) {
+            const std::size_t uw = static_cast<std::size_t>(w);
+            if (++odo[uw] < dims_.dim(w)) {
+                for (std::size_t b = 0; b < B; ++b) {
+                    cur[b] *=
+                        factors[b][uw][static_cast<std::size_t>(odo[uw])] /
+                        factors[b][uw][static_cast<std::size_t>(odo[uw] - 1)];
+                }
+                break;
+            }
+            for (std::size_t b = 0; b < B; ++b) {
+                cur[b] *=
+                    factors[b][uw][0] /
+                    factors[b][uw][static_cast<std::size_t>(odo[uw] - 1)];
+            }
+            odo[uw] = 0;
+        }
+    }
+}
+
+std::vector<Real>
+BatchedStateVector::fidelity_lanes(const BatchedStateVector& other) const
+{
+    if (!(dims_ == other.dims_) || lanes_ != other.lanes_) {
+        throw std::invalid_argument("fidelity_lanes: shape mismatch");
+    }
+    const std::size_t n = static_cast<std::size_t>(dims_.size());
+    const std::size_t B = static_cast<std::size_t>(lanes_);
+    // Lane pairs with register accumulators; per lane the sum runs in
+    // amplitude-index order and (conj(a) * o).re == ar*or + ai*oi bitwise,
+    // matching StateVector::inner.
+    std::vector<Real> fid(B);
+    const Real* base_a = as_reals(amps_.data());
+    const Real* base_o = as_reals(other.amps_.data());
+    std::size_t b = 0;
+    for (; b + 2 <= B; b += 2) {
+        Real r0 = 0, i0 = 0, r1 = 0, i1 = 0;
+        const Real* __restrict pa = base_a + 2 * b;
+        const Real* __restrict po = base_o + 2 * b;
+        for (std::size_t i = 0; i < n; ++i, pa += 2 * B, po += 2 * B) {
+            r0 += pa[0] * po[0] + pa[1] * po[1];
+            i0 += pa[0] * po[1] - pa[1] * po[0];
+            r1 += pa[2] * po[2] + pa[3] * po[3];
+            i1 += pa[2] * po[3] - pa[3] * po[2];
+        }
+        fid[b] = r0 * r0 + i0 * i0;
+        fid[b + 1] = r1 * r1 + i1 * i1;
+    }
+    for (; b < B; ++b) {
+        Real re = 0, im = 0;
+        const Real* __restrict pa = base_a + 2 * b;
+        const Real* __restrict po = base_o + 2 * b;
+        for (std::size_t i = 0; i < n; ++i, pa += 2 * B, po += 2 * B) {
+            re += pa[0] * po[0] + pa[1] * po[1];
+            im += pa[0] * po[1] - pa[1] * po[0];
+        }
+        fid[b] = re * re + im * im;
+    }
+    return fid;
+}
+
+}  // namespace qd::exec

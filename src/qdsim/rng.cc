@@ -1,5 +1,7 @@
 #include "qdsim/rng.h"
 
+#include <stdexcept>
+
 namespace qd {
 
 std::uint64_t
@@ -28,6 +30,9 @@ Rng::uniform()
 std::uint64_t
 Rng::uniform_int(std::uint64_t n)
 {
+    if (n == 0) {
+        throw std::invalid_argument("Rng::uniform_int: empty range (n == 0)");
+    }
     return std::uniform_int_distribution<std::uint64_t>(0, n - 1)(engine_);
 }
 
@@ -45,7 +50,7 @@ Rng::complex_gaussian()
     return Complex(re, im);
 }
 
-std::size_t
+std::optional<std::size_t>
 Rng::weighted_draw(const std::vector<Real>& weights)
 {
     Real total = 0;
@@ -53,7 +58,7 @@ Rng::weighted_draw(const std::vector<Real>& weights)
         total += w;
     }
     if (total <= 0) {
-        return weights.empty() ? 0 : weights.size() - 1;
+        return std::nullopt;
     }
     Real u = uniform() * total;
     for (std::size_t i = 0; i < weights.size(); ++i) {

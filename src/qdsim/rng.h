@@ -12,6 +12,7 @@
 #define QDSIM_RNG_H
 
 #include <cstdint>
+#include <optional>
 #include <random>
 #include <vector>
 
@@ -34,7 +35,9 @@ class Rng {
     /** Uniform real in [0, 1). */
     Real uniform();
 
-    /** Uniform integer in [0, n). */
+    /** Uniform integer in [0, n).
+     *  @throws std::invalid_argument if n == 0 (an empty range used to
+     *          underflow into a full-range 64-bit draw). */
     std::uint64_t uniform_int(std::uint64_t n);
 
     /** Standard normal draw. */
@@ -45,9 +48,14 @@ class Rng {
 
     /**
      * Draws an index from unnormalised non-negative weights.
-     * If all weights are zero, returns weights.size()-1.
+     * Returns std::nullopt when the weights are empty or their total is
+     * zero (or negative): there is no valid arm to draw, and callers must
+     * handle that explicitly. (Returning the last arm here used to let the
+     * trajectory engine "draw" a zero-population damping jump from a
+     * numerically-all-zero weight vector and die renormalising the
+     * resulting zero state.) No randomness is consumed in that case.
      */
-    std::size_t weighted_draw(const std::vector<Real>& weights);
+    std::optional<std::size_t> weighted_draw(const std::vector<Real>& weights);
 
     std::mt19937_64& engine() { return engine_; }
 

@@ -15,6 +15,19 @@ StateVector::StateVector(WireDims dims, const std::vector<int>& digits)
     amps_[dims_.pack(digits)] = Complex(1, 0);
 }
 
+StateVector
+StateVector::from_amplitudes(WireDims dims, std::vector<Complex> amps)
+{
+    if (amps.size() != static_cast<std::size_t>(dims.size())) {
+        throw std::invalid_argument(
+            "StateVector::from_amplitudes: amplitude count does not match "
+            "register size");
+    }
+    StateVector psi(std::move(dims));
+    psi.amps_ = std::move(amps);
+    return psi;
+}
+
 void
 StateVector::apply(const Matrix& op, std::span<const int> wires)
 {

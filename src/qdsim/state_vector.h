@@ -34,6 +34,17 @@ class StateVector {
     /** Initialises to the classical basis state given by `digits`. */
     StateVector(WireDims dims, const std::vector<int>& digits);
 
+    /**
+     * Adopts an explicit amplitude vector (not renormalised). Used by the
+     * batched execution engine to materialise one lane of a
+     * exec::BatchedStateVector as a standalone state. (A named factory, not
+     * a constructor: a braced list of ints must keep selecting the
+     * basis-state constructor above.)
+     * @throws std::invalid_argument if amps.size() != dims.size().
+     */
+    static StateVector from_amplitudes(WireDims dims,
+                                       std::vector<Complex> amps);
+
     const WireDims& dims() const { return dims_; }
     Index size() const { return dims_.size(); }
 

@@ -248,6 +248,194 @@ TEST(Trajectory, MixedRadixDampingSequentialPath) {
     EXPECT_NEAR(mean, exact, 0.012);
 }
 
+/** Uniform wire draw helper for the random-circuit generator. */
+std::uint64_t
+rng_wire(Rng& rng, int n)
+{
+    return rng.uniform_int(static_cast<std::uint64_t>(n));
+}
+
+/** Noise model hot enough that every divergent branch (gate-error draws,
+ *  damping jumps, the fused rare branch, dephasing kicks) fires within a
+ *  few dozen trials. */
+NoiseModel
+hot_noise()
+{
+    NoiseModel m = noiseless();
+    m.p1 = 5e-3;
+    m.p2 = 5e-3;
+    m.t1 = 5 * m.dt_1q;  // violent damping: jumps are common
+    m.dephasing_sigma = 50.0;
+    return m;
+}
+
+/** Runs the same trial set at several batch widths / thread counts and
+ *  expects BITWISE identical per-trial fidelities: lane t of a batched
+ *  pass must reproduce the single-shot trajectory on stream
+ *  root.child(t) exactly. */
+void
+expect_batch_invariant(const Circuit& c, const NoiseModel& m, int trials)
+{
+    TrajectoryOptions opts;
+    opts.trials = trials;
+    opts.seed = 99;
+    opts.keep_per_trial = true;
+    opts.threads = 1;
+    opts.batch = 1;  // per-shot reference path
+    const auto ref = run_noisy_trials(c, m, opts);
+    ASSERT_EQ(static_cast<int>(ref.per_trial.size()), trials);
+    // B dividing trials, B not dividing trials, B > trials, and a thread
+    // count the batch count does not divide.
+    const int batches[] = {2, 8, trials + 3};
+    for (const int b : batches) {
+        for (const int threads : {1, 3}) {
+            TrajectoryOptions bo = opts;
+            bo.batch = b;
+            bo.threads = threads;
+            const auto got = run_noisy_trials(c, m, bo);
+            ASSERT_EQ(got.per_trial.size(), ref.per_trial.size());
+            for (int t = 0; t < trials; ++t) {
+                ASSERT_EQ(got.per_trial[static_cast<std::size_t>(t)],
+                          ref.per_trial[static_cast<std::size_t>(t)])
+                    << "batch " << b << " threads " << threads << " trial "
+                    << t;
+            }
+            ASSERT_EQ(got.mean_fidelity, ref.mean_fidelity);
+        }
+    }
+}
+
+TEST(Trajectory, BatchedLanesMatchSingleShotUniformQutrit) {
+    // Uniform qutrit register: batched gates + fused damping + dephasing
+    // against the per-shot path, bitwise.
+    expect_batch_invariant(small_qutrit_circuit(), hot_noise(), 21);
+}
+
+TEST(Trajectory, BatchedLanesMatchSingleShotMixedRadix) {
+    // Mixed radix forces the sequential damping engine (per-wire jumps,
+    // masked K0) through the batched path.
+    Circuit c(WireDims({2, 3, 2}));
+    c.append(gates::H(), {0});
+    c.append(gates::Xplus1().controlled(2, 1), {0, 1});
+    c.append(gates::H3(), {1});
+    c.append(gates::X().controlled(3, 2), {1, 2});
+    expect_batch_invariant(c, hot_noise(), 13);
+}
+
+TEST(Trajectory, BatchedLanesMatchSingleShotOnRandomCircuits) {
+    // Random qutrit circuits drawn from a pool covering every kernel kind
+    // (permutation, diagonal, unrolled d3, controlled, dense via random
+    // 2-wire unitaries).
+    Rng gen(77);
+    for (int rep = 0; rep < 2; ++rep) {
+        const int wires = 2 + rep;
+        Circuit c(WireDims::uniform(wires, 3));
+        for (int g = 0; g < 10; ++g) {
+            const int w = static_cast<int>(
+                rng_wire(gen, wires));
+            const int v = (w + 1 +
+                           static_cast<int>(rng_wire(gen, wires - 1))) %
+                          wires;
+            switch (gen.uniform_int(5)) {
+                case 0:
+                    c.append(gates::H3(), {w});
+                    break;
+                case 1:
+                    c.append(gates::Z3(), {w});
+                    break;
+                case 2:
+                    c.append(gates::Xplus1(), {w});
+                    break;
+                case 3:
+                    c.append(gates::Xplus1().controlled(3, 2), {w, v});
+                    break;
+                default:
+                    c.append(gates::H3().controlled(3, 1), {w, v});
+                    break;
+            }
+        }
+        expect_batch_invariant(c, hot_noise(), 11);
+    }
+}
+
+TEST(Trajectory, BatchWiderThanTrials) {
+    // trials < B must clamp the lane count, not read or write past the
+    // trial buffer; statistics stay exact.
+    const Circuit c = small_qutrit_circuit();
+    TrajectoryOptions opts;
+    opts.trials = 3;
+    opts.batch = 64;
+    opts.keep_per_trial = true;
+    const auto res = run_noisy_trials(c, hot_noise(), opts);
+    EXPECT_EQ(res.trials, 3);
+    EXPECT_EQ(res.per_trial.size(), 3u);
+    opts.batch = 1;
+    const auto ref = run_noisy_trials(c, hot_noise(), opts);
+    for (int t = 0; t < 3; ++t) {
+        EXPECT_EQ(res.per_trial[static_cast<std::size_t>(t)],
+                  ref.per_trial[static_cast<std::size_t>(t)]);
+    }
+}
+
+TEST(Trajectory, RejectsNegativeBatch) {
+    const Circuit c = small_qutrit_circuit();
+    TrajectoryOptions opts;
+    opts.batch = -4;
+    EXPECT_THROW(run_noisy_trials(c, noiseless(), opts),
+                 std::invalid_argument);
+}
+
+TEST(Trajectory, FusedEngineRejectsMixedRadix) {
+    Circuit c(WireDims({2, 3}));
+    c.append(gates::H(), {0});
+    TrajectoryOptions opts;
+    opts.damping_engine = DampingEngine::kFused;
+    NoiseModel m = noiseless();
+    m.t1 = 100 * m.dt_1q;
+    EXPECT_THROW(run_noisy_trials(c, m, opts), std::invalid_argument);
+}
+
+TEST(Trajectory, DampingEnginesAgreeUnderLevel2OnlyDecay) {
+    // Regression: the sequential engine gated the no-jump K0 on
+    // lambda(1) > 0 alone, so a level-2-only decay model (lambda(1) == 0,
+    // lambda(2) > 0) silently skipped no-jump damping there while the
+    // fused engine applied it. Both engines must converge to the exact
+    // density-matrix fidelity.
+    Circuit c(WireDims::uniform(1, 3));
+    for (int i = 0; i < 8; ++i) {
+        c.append(gates::H3(), {0});
+        c.append(gates::H3().inverse(), {0});
+    }
+    NoiseModel m = noiseless();
+    m.t1 = 10 * m.dt_1q;
+    m.decay_rates = {0.0, 2.0};  // |1> metastable, |2> decays
+    EXPECT_EQ(m.lambda(1, m.dt_1q), 0.0);
+    EXPECT_GT(m.lambda(2, m.dt_1q), 0.0);
+
+    Rng rng(21);
+    // Superposition with heavy |2> weight so level-2 damping matters.
+    StateVector init(c.dims());
+    init.amplitudes() = {Complex(0.5, 0), Complex(0.5, 0),
+                         Complex(std::sqrt(0.5), 0)};
+    const StateVector ideal = simulate(c, init);
+    const Real exact = density_matrix_fidelity(c, m, init);
+
+    auto mean_fid = [&](DampingEngine engine) {
+        Real mean = 0;
+        const int trials = 3000;
+        for (int t = 0; t < trials; ++t) {
+            Rng child = rng.child(static_cast<std::uint64_t>(t));
+            mean += run_single_trajectory(c, m, init, ideal, child, engine);
+        }
+        return mean / trials;
+    };
+    const Real fused = mean_fid(DampingEngine::kFused);
+    const Real sequential = mean_fid(DampingEngine::kSequential);
+    EXPECT_NEAR(fused, exact, 0.01);
+    EXPECT_NEAR(sequential, exact, 0.01);
+    EXPECT_NEAR(fused, sequential, 0.015);
+}
+
 TEST(Trajectory, TotalConventionScalesErrors) {
     // Under GateErrorConvention::kTotal the qutrit circuit pays the same
     // total error as a qubit circuit with identical gate count would.

@@ -121,16 +121,31 @@ TEST(Rng, WeightedDrawRespectsWeights) {
     Rng rng(55);
     int counts[3] = {0, 0, 0};
     for (int i = 0; i < 30000; ++i) {
-        ++counts[rng.weighted_draw({0.2, 0.0, 0.8})];
+        ++counts[rng.weighted_draw({0.2, 0.0, 0.8}).value()];
     }
     EXPECT_EQ(counts[1], 0);
     EXPECT_NEAR(counts[0] / 30000.0, 0.2, 0.02);
     EXPECT_NEAR(counts[2] / 30000.0, 0.8, 0.02);
 }
 
-TEST(Rng, WeightedDrawAllZeros) {
+TEST(Rng, WeightedDrawAllZerosIsSignalled) {
+    // Regression: an all-zero weight vector used to "draw" the last arm,
+    // which let the trajectory engine pick a zero-population damping jump
+    // and die renormalising a zero state. Zero total is now an explicit
+    // no-draw outcome, and no randomness may be consumed by it.
     Rng rng(1);
-    EXPECT_EQ(rng.weighted_draw({0.0, 0.0}), 1u);
+    EXPECT_EQ(rng.weighted_draw({0.0, 0.0}), std::nullopt);
+    EXPECT_EQ(rng.weighted_draw({}), std::nullopt);
+    Rng a(9), b(9);
+    EXPECT_EQ(a.weighted_draw({0.0, 0.0}), std::nullopt);
+    EXPECT_EQ(a.uniform(), b.uniform());  // stream position unchanged
+}
+
+TEST(Rng, UniformIntRejectsEmptyRange) {
+    // Regression: uniform_int(0) underflowed to a full-range 64-bit draw.
+    Rng rng(2);
+    EXPECT_THROW(rng.uniform_int(0), std::invalid_argument);
+    EXPECT_EQ(rng.uniform_int(1), 0u);
 }
 
 }  // namespace
