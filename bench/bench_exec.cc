@@ -81,10 +81,10 @@ main()
     const double speedup = generic_ms / compiled_ms;
 
     const auto kc = compiled.kernel_counts();
-    std::printf("kernels: permutation=%zu diagonal=%zu single_wire=%zu "
-                "controlled=%zu dense=%zu\n",
-                kc.permutation, kc.diagonal, kc.single_wire, kc.controlled,
-                kc.dense);
+    std::printf("kernels: permutation=%zu diagonal=%zu monomial=%zu "
+                "single_wire=%zu controlled=%zu dense=%zu\n",
+                kc.permutation, kc.diagonal, kc.monomial, kc.single_wire,
+                kc.controlled, kc.dense);
     std::printf("compile once:   %8.3f ms\n", compile_ms);
     std::printf("generic pass:   %8.3f ms\n", generic_ms);
     std::printf("compiled pass:  %8.3f ms\n", compiled_ms);
@@ -118,14 +118,16 @@ main()
             "  \"compile_ms\": %.6f,\n"
             "  \"speedup\": %.4f,\n"
             "  \"kernel_counts\": {\"permutation\": %zu, \"diagonal\": %zu,"
-            " \"single_wire\": %zu, \"controlled\": %zu, \"dense\": %zu},\n"
+            " \"monomial\": %zu, \"single_wire\": %zu, \"controlled\": %zu,"
+            " \"dense\": %zu},\n"
             "  \"noisy_trials\": %d,\n"
             "  \"noisy_shots_per_sec\": %.2f,\n"
             "  \"mean_fidelity\": %.6f\n"
             "}\n",
             n_controls, reps, generic_ms, compiled_ms, compile_ms, speedup,
-            kc.permutation, kc.diagonal, kc.single_wire, kc.controlled,
-            kc.dense, trials, shots_per_sec, result.mean_fidelity);
+            kc.permutation, kc.diagonal, kc.monomial, kc.single_wire,
+            kc.controlled, kc.dense, trials, shots_per_sec,
+            result.mean_fidelity);
         std::fclose(out);
         std::printf("wrote BENCH_exec.json\n");
     }

@@ -1,0 +1,173 @@
+/**
+ * Compile-time operator fusion: fused vs unfused compiled execution.
+ *
+ * Workloads (the paper's two serial gate streams, where runs of small
+ * gates share wires):
+ *   1. Generalized Toffoli, QUBIT method (ancilla-free baseline of
+ *      Table 1), decomposed to the H/T/CNOT Toffoli network — the
+ *      phase∘permutation runs fuse to monomial blocks and the single-wire
+ *      runs collapse onto the unrolled kernels.
+ *   2. The paper's qutrit incrementer (Figure 7) at two-qutrit
+ *      granularity — permutation∘permutation fusion (bitwise exact).
+ *
+ * For each workload: ms per circuit pass unfused (PR 2 engine) vs fused,
+ * min-of-reps timing, plus a correctness check (max amplitude deviation
+ * fused vs unfused). Emits BENCH_fusion.json; the `speedup` (gen-Toffoli)
+ * and `speedup_incrementer` ratios are gated in CI via
+ * scripts/compare_bench.py.
+ *
+ * Knobs: QD_FUSION_CONTROLS (default 11), QD_FUSION_INC_BITS (default
+ * 11), QD_FUSION_REPS (default 7).
+ */
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "constructions/gen_toffoli.h"
+#include "constructions/incrementer.h"
+#include "qdsim/exec/compiled_circuit.h"
+#include "qdsim/random_state.h"
+
+namespace {
+
+using namespace qd;
+
+double
+now_ms()
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+struct Measurement {
+    double unfused_ms = 0;
+    double fused_ms = 0;
+    double speedup = 0;
+    double max_dev = 0;
+    std::size_t ops_unfused = 0;
+    std::size_t ops_fused = 0;
+    std::size_t fused_groups = 0;
+};
+
+/** Times one circuit fused vs unfused (min over reps of a full compiled
+ *  pass from the same random state) and cross-checks the outputs. */
+Measurement
+measure(const Circuit& circuit, int reps)
+{
+    const exec::CompiledCircuit unfused(circuit);
+    const exec::CompiledCircuit fused(circuit, exec::FusionOptions{});
+
+    Rng rng(2019);
+    const StateVector init = haar_random_state(circuit.dims(), rng);
+    exec::ExecScratch scratch;
+    StateVector sink = init;
+
+    Measurement m;
+    m.ops_unfused = unfused.num_ops();
+    m.ops_fused = fused.num_ops();
+    m.fused_groups = fused.num_fused_groups();
+
+    // Warm both paths once, then take the min over reps (robust against
+    // scheduler noise on shared runners).
+    sink = init;
+    unfused.run(sink, scratch);
+    sink = init;
+    fused.run(sink, scratch);
+
+    m.unfused_ms = 1e300;
+    for (int r = 0; r < reps; ++r) {
+        sink = init;
+        const double t0 = now_ms();
+        unfused.run(sink, scratch);
+        m.unfused_ms = std::min(m.unfused_ms, now_ms() - t0);
+    }
+    m.fused_ms = 1e300;
+    for (int r = 0; r < reps; ++r) {
+        sink = init;
+        const double t0 = now_ms();
+        fused.run(sink, scratch);
+        m.fused_ms = std::min(m.fused_ms, now_ms() - t0);
+    }
+    m.speedup = m.unfused_ms / m.fused_ms;
+
+    StateVector a = init, b = init;
+    unfused.run(a, scratch);
+    fused.run(b, scratch);
+    for (Index i = 0; i < a.size(); ++i) {
+        m.max_dev = std::max(m.max_dev, std::abs(a[i] - b[i]));
+    }
+    return m;
+}
+
+void
+report(const char* label, const Circuit& circuit, const Measurement& m)
+{
+    std::printf("%s\n", circuit.summary(label).c_str());
+    std::printf("  ops: %zu -> %zu compiled blocks (%zu fused groups)\n",
+                m.ops_unfused, m.ops_fused, m.fused_groups);
+    std::printf("  unfused pass: %9.3f ms\n", m.unfused_ms);
+    std::printf("  fused pass:   %9.3f ms\n", m.fused_ms);
+    std::printf("  speedup:      %9.2fx %s\n", m.speedup,
+                m.speedup >= 1.3 ? "(>= 1.3x target met)"
+                                 : "(below 1.3x target)");
+    std::printf("  max |fused - unfused| amplitude deviation: %.3e\n\n",
+                m.max_dev);
+}
+
+}  // namespace
+
+int
+main()
+{
+    bench::banner("bench_fusion: compile-time operator fusion",
+                  "fused vs unfused compiled passes; gen-Toffoli (QUBIT "
+                  "network) + qutrit incrementer workloads");
+
+    const int n_controls = bench::env_int("QD_FUSION_CONTROLS", 11);
+    const int inc_bits = bench::env_int("QD_FUSION_INC_BITS", 11);
+    const int reps = bench::env_int("QD_FUSION_REPS", 7);
+
+    const auto toff =
+        ctor::build_gen_toffoli(ctor::Method::kQubitNoAncilla, n_controls);
+    const Measurement mt = measure(toff.circuit, reps);
+    report("gen_toffoli_qubit", toff.circuit, mt);
+
+    const Circuit inc = ctor::build_qutrit_incrementer(
+        inc_bits, ctor::IncGranularity::kTwoQutrit);
+    const Measurement mi = measure(inc, reps);
+    report("qutrit_incrementer", inc, mi);
+
+    std::FILE* out = std::fopen("BENCH_fusion.json", "w");
+    if (out != nullptr) {
+        std::fprintf(
+            out,
+            "{\n"
+            "  \"workload\": \"gen_toffoli_qubit+qutrit_incrementer\",\n"
+            "  \"n_controls\": %d,\n"
+            "  \"inc_bits\": %d,\n"
+            "  \"reps\": %d,\n"
+            "  \"toffoli_ops_unfused\": %zu,\n"
+            "  \"toffoli_ops_fused\": %zu,\n"
+            "  \"toffoli_unfused_ms\": %.6f,\n"
+            "  \"toffoli_fused_ms\": %.6f,\n"
+            "  \"toffoli_max_dev\": %.3e,\n"
+            "  \"speedup\": %.4f,\n"
+            "  \"incrementer_ops_unfused\": %zu,\n"
+            "  \"incrementer_ops_fused\": %zu,\n"
+            "  \"incrementer_unfused_ms\": %.6f,\n"
+            "  \"incrementer_fused_ms\": %.6f,\n"
+            "  \"incrementer_max_dev\": %.3e,\n"
+            "  \"speedup_incrementer\": %.4f\n"
+            "}\n",
+            n_controls, inc_bits, reps, mt.ops_unfused, mt.ops_fused,
+            mt.unfused_ms, mt.fused_ms, mt.max_dev, mt.speedup,
+            mi.ops_unfused, mi.ops_fused, mi.unfused_ms, mi.fused_ms,
+            mi.max_dev, mi.speedup);
+        std::fclose(out);
+        std::printf("wrote BENCH_fusion.json\n");
+    }
+    return 0;
+}

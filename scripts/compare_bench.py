@@ -2,6 +2,7 @@
 """Compare BENCH_*.json results against the checked-in baselines.
 
 Usage: compare_bench.py [--tolerance FRAC] [--results DIR] [--baselines DIR]
+       compare_bench.py --self-test
 
 Only machine-independent throughput ratios are compared (the "speedup"
 of a compiled path over its reference path measured in the SAME run on
@@ -10,18 +11,27 @@ uploaded as artifacts but never gated on. The check fails (exit 1) when
 a tracked metric falls more than --tolerance (default 25%) below its
 baseline — i.e. the compiled fast path lost ground against the
 reference implementation.
+
+--self-test exercises the script's own failure paths (truncated JSON,
+zero metrics compared, below-floor regression, and the passing case)
+against generated fixture files, so a broken gate fails CI in seconds
+instead of silently passing after a 20-minute build.
 """
 
 import argparse
 import json
 import os
 import sys
+import tempfile
 
-# file -> list of higher-is-better ratio metrics to gate on.
+# file -> list of higher-is-better ratio metrics to gate on. One entry
+# per benchmarked engine: compiled state-vector (exec), density-matrix
+# superoperators, batched trajectory lanes, and compile-time fusion.
 TRACKED = {
     "BENCH_exec.json": ["speedup"],
     "BENCH_density.json": ["speedup"],
     "BENCH_batch.json": ["speedup"],
+    "BENCH_fusion.json": ["speedup", "speedup_incrementer"],
 }
 
 
@@ -36,23 +46,17 @@ def load_json(path, failures):
         return None
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--tolerance", type=float, default=0.25,
-                        help="allowed fractional regression (default 0.25)")
-    parser.add_argument("--results", default=".",
-                        help="directory holding freshly produced BENCH_*.json")
-    parser.add_argument("--baselines", default="bench/baselines",
-                        help="directory holding checked-in baselines")
-    args = parser.parse_args()
-
+def compare(results_dir, baselines_dir, tolerance, tracked=None,
+            out=sys.stdout, err=sys.stderr):
+    """Runs the comparison; returns 0 (pass) or 1 (fail)."""
+    tracked = TRACKED if tracked is None else tracked
     failures = []
     checked = 0
-    for name, metrics in sorted(TRACKED.items()):
-        result_path = os.path.join(args.results, name)
-        baseline_path = os.path.join(args.baselines, name)
+    for name, metrics in sorted(tracked.items()):
+        result_path = os.path.join(results_dir, name)
+        baseline_path = os.path.join(baselines_dir, name)
         if not os.path.exists(baseline_path):
-            print(f"[skip] {name}: no baseline checked in")
+            print(f"[skip] {name}: no baseline checked in", file=out)
             continue
         if not os.path.exists(result_path):
             failures.append(f"{name}: benchmark result missing "
@@ -64,17 +68,17 @@ def main():
             continue
         for metric in metrics:
             if metric not in baseline:
-                print(f"[skip] {name}:{metric}: not in baseline")
+                print(f"[skip] {name}:{metric}: not in baseline", file=out)
                 continue
             if metric not in result:
                 failures.append(f"{name}:{metric}: missing from result")
                 continue
             base = float(baseline[metric])
             got = float(result[metric])
-            floor = base * (1.0 - args.tolerance)
+            floor = base * (1.0 - tolerance)
             status = "ok" if got >= floor else "REGRESSION"
             print(f"[{status}] {name}:{metric}: {got:.3f} "
-                  f"(baseline {base:.3f}, floor {floor:.3f})")
+                  f"(baseline {base:.3f}, floor {floor:.3f})", file=out)
             checked += 1
             if got < floor:
                 failures.append(
@@ -82,9 +86,9 @@ def main():
                     f"{base:.3f} allows no less than {floor:.3f}")
 
     if failures:
-        print("\nbenchmark regression check FAILED:", file=sys.stderr)
+        print("\nbenchmark regression check FAILED:", file=err)
         for failure in failures:
-            print(f"  - {failure}", file=sys.stderr)
+            print(f"  - {failure}", file=err)
         return 1
     if checked == 0:
         # Every tracked file was skipped (e.g. no baselines checked in, or
@@ -93,10 +97,80 @@ def main():
         print("benchmark regression check FAILED: 0 metrics compared — "
               "every tracked file was skipped; check that baselines exist "
               f"under --baselines and results under --results "
-              f"(tracked: {', '.join(sorted(TRACKED))})", file=sys.stderr)
+              f"(tracked: {', '.join(sorted(tracked))})", file=err)
         return 1
-    print(f"\nbenchmark regression check passed ({checked} metrics)")
+    print(f"\nbenchmark regression check passed ({checked} metrics)",
+          file=out)
     return 0
+
+
+def self_test():
+    """Exercises the gate's failure paths with fixture files. Returns 0
+    when every scenario behaves as specified."""
+    tracked = {"BENCH_fixture.json": ["speedup"]}
+    problems = []
+
+    def scenario(name, expect_rc, baseline_text, result_text):
+        with tempfile.TemporaryDirectory() as tmp:
+            baselines = os.path.join(tmp, "baselines")
+            results = os.path.join(tmp, "results")
+            os.makedirs(baselines)
+            os.makedirs(results)
+            if baseline_text is not None:
+                with open(os.path.join(baselines,
+                                       "BENCH_fixture.json"), "w") as f:
+                    f.write(baseline_text)
+            if result_text is not None:
+                with open(os.path.join(results,
+                                       "BENCH_fixture.json"), "w") as f:
+                    f.write(result_text)
+            with open(os.devnull, "w") as sink:
+                # Route both streams to the sink: the scenarios FAIL on
+                # purpose, and their diagnostics would read as real
+                # failures in the CI log.
+                rc = compare(results, baselines, 0.25, tracked,
+                             out=sink, err=sink)
+            status = "ok" if rc == expect_rc else "FAIL"
+            print(f"[self-test {status}] {name}: exit {rc} "
+                  f"(expected {expect_rc})")
+            if rc != expect_rc:
+                problems.append(name)
+
+    ok = json.dumps({"speedup": 2.0})
+    scenario("passing result within floor", 0, ok,
+             json.dumps({"speedup": 1.9}))
+    scenario("below-floor regression fails", 1, ok,
+             json.dumps({"speedup": 1.0}))
+    scenario("truncated result JSON fails", 1, ok, '{"speedup": 2.')
+    scenario("truncated baseline JSON fails", 1, '{"speedup', ok)
+    scenario("missing result file fails", 1, ok, None)
+    scenario("zero metrics compared fails (no baseline)", 1, None, ok)
+    scenario("metric missing from result fails", 1, ok,
+             json.dumps({"other": 1.0}))
+
+    if problems:
+        print(f"\nself-test FAILED: {', '.join(problems)}",
+              file=sys.stderr)
+        return 1
+    print("\nself-test passed (7 scenarios)")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional regression (default 0.25)")
+    parser.add_argument("--results", default=".",
+                        help="directory holding freshly produced BENCH_*.json")
+    parser.add_argument("--baselines", default="bench/baselines",
+                        help="directory holding checked-in baselines")
+    parser.add_argument("--self-test", action="store_true",
+                        help="exercise the gate's failure paths against "
+                             "fixture files and exit")
+    args = parser.parse_args()
+    if args.self_test:
+        return self_test()
+    return compare(args.results, args.baselines, args.tolerance)
 
 
 if __name__ == "__main__":

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <map>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "noise/channels.h"
@@ -194,21 +195,14 @@ apply_gaussian_dephasing(DensityMatrix& dm, Matrix& rho, int wire, Real s)
 
 Real
 density_matrix_fidelity(const Circuit& circuit, const NoiseModel& model,
-                        const StateVector& initial)
+                        const StateVector& initial,
+                        const exec::FusionOptions& fusion)
 {
     const StateVector ideal = simulate(circuit, initial);
     DensityMatrix dm(initial);
     Matrix& rho = dm.mutable_rho();
     const WireDims& dims = circuit.dims();
     exec::PlanCache& cache = dm.plan_cache();
-
-    // Compile every gate once, sharing plans across ops on the same wires.
-    std::vector<exec::CompiledSuperOp> gate_ops;
-    gate_ops.reserve(circuit.num_ops());
-    for (const Operation& op : circuit.ops()) {
-        gate_ops.push_back(
-            exec::compile_superop(dims, op.gate, op.wires, &cache));
-    }
 
     // Gate-error channels: same placement as the trajectory engine,
     // compiled once per (wires, per-channel probability).
@@ -239,6 +233,57 @@ density_matrix_fidelity(const Circuit& circuit, const NoiseModel& model,
             }
             op_channels[i].push_back(&it->second);
         }
+    }
+
+    // No idle noise: nothing separates gates but their error channels, so
+    // the moment scaffolding is irrelevant — fuse gate runs between error
+    // fences into single conjugation passes (channels fence the partition
+    // and attach to their pre-fusion op boundaries, exactly like the
+    // trajectory engine).
+    const bool idle_noise = model.has_damping() || model.has_dephasing();
+    if (fusion.enabled && !idle_noise) {
+        const auto groups = exec::fuse_sites(dims, circuit.ops(),
+                                             error_fences(sites), fusion);
+        for (const exec::FusedGroup& group : groups) {
+            if (group.members.size() == 1) {
+                const Operation& op = circuit.ops()[group.members[0]];
+                dm.apply(exec::compile_superop(dims, op.gate, op.wires,
+                                               &cache));
+            } else {
+                // Wrap the product in a Gate so controlled structure
+                // survives fusion on this path too (plain-matrix
+                // compilation would densify same-signature controlled
+                // products). Fused-group plans are keyed by the cap (see
+                // PlanCache).
+                std::vector<int> gate_dims;
+                gate_dims.reserve(group.wires.size());
+                for (const int w : group.wires) {
+                    gate_dims.push_back(dims.dim(w));
+                }
+                const Gate fused_gate(
+                    "fused[" + std::to_string(group.members.size()) + "]",
+                    std::move(gate_dims),
+                    exec::fused_matrix(dims, circuit.ops(), group));
+                dm.apply(exec::compile_superop(dims, fused_gate,
+                                               group.wires, &cache,
+                                               fusion.max_block));
+            }
+            for (const std::uint32_t src : group.members) {
+                for (const CompiledChannel* ch :
+                     op_channels[static_cast<std::size_t>(src)]) {
+                    dm.apply(*ch);
+                }
+            }
+        }
+        return dm.fidelity(ideal);
+    }
+
+    // Compile every gate once, sharing plans across ops on the same wires.
+    std::vector<exec::CompiledSuperOp> gate_ops;
+    gate_ops.reserve(circuit.num_ops());
+    for (const Operation& op : circuit.ops()) {
+        gate_ops.push_back(
+            exec::compile_superop(dims, op.gate, op.wires, &cache));
     }
 
     // Per-wire damping channels: dt depends only on the moment type, so

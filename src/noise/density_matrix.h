@@ -22,6 +22,7 @@
 #include "noise/kraus.h"
 #include "noise/noise_model.h"
 #include "qdsim/circuit.h"
+#include "qdsim/exec/fusion.h"
 #include "qdsim/exec/superop.h"
 #include "qdsim/state_vector.h"
 
@@ -120,9 +121,17 @@ class DensityMatrix {
  * channels are each compiled ONCE against a shared plan cache and reused
  * across moments; cost is O(D^2 * b) per operator. Coherent dephasing is
  * modelled as the equivalent Gaussian dephasing channel.
+ *
+ * `fusion` drives the compile-time fusion stage (exec/fusion.h) on the
+ * superoperator side: gate runs between noise boundaries merge into one
+ * conjugation pass. Error channels fence the partition, so they attach to
+ * pre-fusion op boundaries exactly like the trajectory engine; under idle
+ * noise (damping/dephasing every moment, where in-moment ops are
+ * wire-disjoint) the per-op moment loop is kept unchanged.
  */
 Real density_matrix_fidelity(const Circuit& circuit, const NoiseModel& model,
-                             const StateVector& initial);
+                             const StateVector& initial,
+                             const exec::FusionOptions& fusion = {});
 
 }  // namespace qd::noise
 

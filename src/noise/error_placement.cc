@@ -43,4 +43,14 @@ enumerate_error_sites(const Circuit& circuit, const NoiseModel& model)
     return sites;
 }
 
+std::vector<std::uint8_t>
+error_fences(const std::vector<std::vector<ErrorSite>>& sites)
+{
+    std::vector<std::uint8_t> fences(sites.size(), 0);
+    for (std::size_t i = 0; i < sites.size(); ++i) {
+        fences[i] = sites[i].empty() ? 0 : 1;
+    }
+    return fences;
+}
+
 }  // namespace qd::noise

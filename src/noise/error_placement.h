@@ -13,6 +13,7 @@
 #ifndef NOISE_ERROR_PLACEMENT_H
 #define NOISE_ERROR_PLACEMENT_H
 
+#include <cstdint>
 #include <vector>
 
 #include "noise/noise_model.h"
@@ -37,6 +38,17 @@ struct ErrorSite {
  */
 std::vector<std::vector<ErrorSite>> enumerate_error_sites(
     const Circuit& circuit, const NoiseModel& model);
+
+/**
+ * Fusion fences derived from the error placement: entry i is non-zero
+ * iff operation i draws at least one channel, so the compile-time fusion
+ * stage (exec/fusion.h) pins that op's trailing boundary and the channel
+ * keeps its pre-fusion attachment point. Single source of truth for the
+ * trajectory AND density engines — both must fence identically for their
+ * convergence comparisons to stay valid.
+ */
+std::vector<std::uint8_t> error_fences(
+    const std::vector<std::vector<ErrorSite>>& sites);
 
 }  // namespace qd::noise
 

@@ -39,18 +39,29 @@ struct ErrorDraw {
 };
 
 /**
- * Precomputed per-circuit state shared by all trajectories: the compiled
- * circuit (specialized kernels + shared apply plans), the per-operation
- * precompiled depolarizing error draws, the moment schedule and, for
- * uniform-dimension registers, a per-basis-index key packing the
- * excited-level counts (n1, n2), which lets the no-jump damping operator
- * of ALL wires apply as one table-scaled pass.
+ * Precomputed per-circuit state shared by all trajectories: two compiled
+ * circuits over one shared plan cache — `ideal` (fully fused) for the
+ * noiseless reference passes, `noisy` (fused only between noise
+ * boundaries; unfused under idle noise) for the moment loop — the
+ * per-compiled-op precompiled depolarizing error draws, the moment
+ * schedule and, for uniform-dimension registers, a per-basis-index key
+ * packing the excited-level counts (n1, n2), which lets the no-jump
+ * damping operator of ALL wires apply as one table-scaled pass.
  */
 struct EngineContext {
-    exec::CompiledCircuit compiled;
-    /** Per op index: the error lotteries drawn after that gate. Pointers
-     *  into `error_memo_`, deduplicated by (wires, probability). */
+    exec::PlanCache cache;        ///< plans shared across both compilations
+    exec::CompiledCircuit ideal;  ///< fully fused: ideal reference passes
+    /** The noisy-loop compilation. Gate-error ops are fusion fences, so
+     *  every error channel still attaches to its pre-fusion op boundary;
+     *  under idle noise the moment schedule (wire-disjoint ops) is kept
+     *  per op and nothing merges. */
+    exec::CompiledCircuit noisy;
+    /** Per noisy-op index: the error lotteries drawn after that op (the
+     *  draws of its source ops; fences guarantee only the last source op
+     *  of a fused group carries any). Pointers into `error_memo_`,
+     *  deduplicated by (wires, probability). */
     std::vector<std::vector<const ErrorDraw*>> errors;
+    /** Schedule over noisy-op indices. */
     std::vector<Moment> moments;
     bool accel = false;
     int width = 0;
@@ -62,9 +73,41 @@ struct EngineContext {
     EngineContext(const EngineContext&) = delete;
     EngineContext& operator=(const EngineContext&) = delete;
 
-    EngineContext(const Circuit& circuit, const NoiseModel& model)
-        : compiled(circuit), moments(schedule_asap(circuit)) {
-        build_error_draws(circuit, model);
+    EngineContext(const Circuit& circuit, const NoiseModel& model,
+                  const exec::FusionOptions& fusion = {})
+        : cache(circuit.dims()),
+          ideal(circuit, fusion, {}, &cache) {
+        const auto sites = enumerate_error_sites(circuit, model);
+        const bool idle_noise =
+            model.has_damping() || model.has_dephasing();
+        if (!fusion.enabled || idle_noise) {
+            // Idle noise fences every moment boundary, and ops within a
+            // moment are wire-disjoint: fusion has nothing to merge, so
+            // compile per op (bitwise the pre-fusion engine) and keep the
+            // ASAP moments as the noisy schedule.
+            exec::FusionOptions off = fusion;
+            off.enabled = false;
+            noisy = exec::CompiledCircuit(circuit, off, {}, &cache);
+            moments = schedule_asap(circuit);
+        } else {
+            // Gate errors are the only noise: fuse between error sites.
+            // Every op that draws a channel fences the partition, pinning
+            // the channel to its pre-fusion boundary (error_fences is the
+            // single source of truth shared with the density engine).
+            noisy = exec::CompiledCircuit(circuit, fusion,
+                                          error_fences(sites), &cache);
+            Moment all;
+            all.op_indices.resize(noisy.num_ops());
+            for (std::size_t k = 0; k < noisy.num_ops(); ++k) {
+                all.op_indices[k] = k;
+            }
+            for (const Operation& op : circuit.ops()) {
+                all.has_multi_qudit =
+                    all.has_multi_qudit || op.gate.arity() >= 2;
+            }
+            moments.push_back(std::move(all));
+        }
+        build_error_draws(circuit, sites);
         const WireDims& dims = circuit.dims();
         width = dims.num_wires();
         dim = dims.dim(0);
@@ -104,22 +147,19 @@ struct EngineContext {
   private:
     /**
      * Precompiles every depolarizing error unitary the trajectory loop can
-     * draw, sharing apply plans with the compiled circuit (an error on a
-     * gate's wires reuses that gate's offset tables). Placement comes
-     * from enumerate_error_sites — the same policy the exact
-     * density-matrix engine compiles against, so the two stay comparable.
-     * Draws are memoised by (wires, per-channel probability), so a
-     * circuit with many gates on the same wire pair compiles its channel
-     * once.
+     * draw, sharing apply plans with the compiled circuits (an error on a
+     * gate's wires reuses that gate's offset tables via the shared
+     * cache). Placement comes from enumerate_error_sites — the same
+     * policy the exact density-matrix engine compiles against, so the two
+     * stay comparable. Draws are memoised by (wires, per-channel
+     * probability), so a circuit with many gates on the same wire pair
+     * compiles its channel once. Per-source-op draw lists are folded onto
+     * the noisy compilation through CompiledOp::source_ops.
      */
-    void build_error_draws(const Circuit& circuit, const NoiseModel& model) {
+    void build_error_draws(const Circuit& circuit,
+                           const std::vector<std::vector<ErrorSite>>& sites) {
         const WireDims& dims = circuit.dims();
-        exec::PlanCache cache(dims);
-        for (const exec::CompiledOp& op : compiled.ops()) {
-            cache.put(op.wires, op.plan);
-        }
-        const auto sites = enumerate_error_sites(circuit, model);
-        errors.resize(circuit.num_ops());
+        std::vector<std::vector<const ErrorDraw*>> per_op(circuit.num_ops());
         for (std::size_t i = 0; i < sites.size(); ++i) {
             for (const ErrorSite& site : sites[i]) {
                 const auto key =
@@ -142,7 +182,15 @@ struct EngineContext {
                     }
                     it = error_memo_.emplace(key, std::move(draw)).first;
                 }
-                errors[i].push_back(&it->second);
+                per_op[i].push_back(&it->second);
+            }
+        }
+        errors.resize(noisy.num_ops());
+        for (std::size_t k = 0; k < noisy.num_ops(); ++k) {
+            for (const std::uint32_t s : noisy.ops()[k].source_ops) {
+                const auto& draws = per_op[static_cast<std::size_t>(s)];
+                errors[k].insert(errors[k].end(), draws.begin(),
+                                 draws.end());
             }
         }
     }
@@ -387,7 +435,7 @@ run_trajectory_with_context(const NoiseModel& model,
     StateVector psi = initial;
     for (const Moment& moment : ctx.moments) {
         for (const std::size_t idx : moment.op_indices) {
-            exec::apply_op(ctx.compiled.ops()[idx], psi, scratch);
+            exec::apply_op(ctx.noisy.ops()[idx], psi, scratch);
             apply_gate_error(psi, ctx.errors[idx], rng, scratch);
         }
         const Real dt = model.moment_duration(moment.has_multi_qudit);
@@ -613,7 +661,7 @@ run_trajectory_batch(const NoiseModel& model, const EngineContext& ctx,
                      exec::BatchedScratch& bscratch,
                      exec::ExecScratch& scratch)
 {
-    const WireDims& dims = ctx.compiled.dims();
+    const WireDims& dims = ctx.noisy.dims();
     std::vector<Rng> rngs;
     rngs.reserve(static_cast<std::size_t>(lanes));
     exec::BatchedStateVector psi(dims, lanes);
@@ -628,7 +676,7 @@ run_trajectory_batch(const NoiseModel& model, const EngineContext& ctx,
         psi.set_lane(j, initial);
     }
     exec::BatchedStateVector ideal = psi;
-    exec::run_batched(ctx.compiled, ideal, bscratch);
+    exec::run_batched(ctx.ideal, ideal, bscratch);
 
     // The fused no-jump tables depend only on the moment duration, which
     // takes exactly two values — build each once per batch, not per moment.
@@ -642,7 +690,8 @@ run_trajectory_batch(const NoiseModel& model, const EngineContext& ctx,
     BatchNoiseScratch ds;
     for (const Moment& moment : ctx.moments) {
         for (const std::size_t idx : moment.op_indices) {
-            exec::apply_op_batched(ctx.compiled.ops()[idx], psi, bscratch);
+            exec::apply_op_batched(ctx.noisy.ops()[idx], psi,
+                                    bscratch);
             apply_gate_error_batched(psi, ctx.errors[idx], rngs, lane,
                                      scratch);
         }
@@ -734,7 +783,7 @@ run_noisy_trials(const Circuit& circuit, const NoiseModel& model,
     }
     threads = std::min(threads, num_batches);
 
-    EngineContext ctx(circuit, model);
+    EngineContext ctx(circuit, model, options.fusion);
     select_damping_engine(ctx, options.damping_engine);
     std::vector<Real> fidelities(static_cast<std::size_t>(trials), 0.0);
     std::atomic<int> next{0};
@@ -762,7 +811,7 @@ run_noisy_trials(const Circuit& circuit, const NoiseModel& model,
                 options.qubit_subspace_inputs
                     ? haar_random_qubit_subspace_state(circuit.dims(), rng)
                     : haar_random_state(circuit.dims(), rng);
-            const StateVector ideal = simulate(ctx.compiled, initial);
+            const StateVector ideal = simulate(ctx.ideal, initial);
             fidelities[static_cast<std::size_t>(t)] =
                 run_trajectory_with_context(model, ctx, initial, ideal, rng,
                                             scratch);

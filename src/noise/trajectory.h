@@ -36,6 +36,7 @@
 
 #include "noise/noise_model.h"
 #include "qdsim/circuit.h"
+#include "qdsim/exec/fusion.h"
 #include "qdsim/rng.h"
 #include "qdsim/state_vector.h"
 
@@ -77,6 +78,16 @@ struct TrajectoryOptions {
     DampingEngine damping_engine = DampingEngine::kAuto;
     /** Record every trial's fidelity in TrajectoryResult::per_trial. */
     bool keep_per_trial = false;
+    /**
+     * Compile-time operator fusion (see exec/fusion.h). The ideal
+     * reference passes always compile fully fused; the noisy loop fuses
+     * only between noise boundaries: every op that draws a gate-error
+     * channel is a fence (errors attach to pre-fusion op boundaries), and
+     * circuits under idle noise (damping/dephasing) keep the per-op
+     * moment schedule, where ops are wire-disjoint and nothing merges.
+     * Disabling reproduces the pre-fusion engine bitwise.
+     */
+    exec::FusionOptions fusion = {};
 };
 
 /** Aggregated fidelity statistics. */

@@ -120,9 +120,10 @@ PlanCache::operator=(const PlanCache& other)
 }
 
 std::shared_ptr<const ApplyPlan>
-PlanCache::get(std::span<const int> wires)
+PlanCache::get(std::span<const int> wires, Index salt)
 {
-    std::vector<int> key(wires.begin(), wires.end());
+    auto key = std::make_pair(std::vector<int>(wires.begin(), wires.end()),
+                              salt);
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = plans_.find(key);
     if (it == plans_.end()) {
@@ -134,13 +135,14 @@ PlanCache::get(std::span<const int> wires)
 
 void
 PlanCache::put(std::span<const int> wires,
-               std::shared_ptr<const ApplyPlan> plan)
+               std::shared_ptr<const ApplyPlan> plan, Index salt)
 {
     if (plan == nullptr) {
         return;
     }
     std::lock_guard<std::mutex> lock(mutex_);
-    plans_.emplace(std::vector<int>(wires.begin(), wires.end()),
+    plans_.emplace(std::make_pair(
+                       std::vector<int>(wires.begin(), wires.end()), salt),
                    std::move(plan));
 }
 

@@ -90,8 +90,17 @@ std::shared_ptr<const ApplyPlan> make_apply_plan(const WireDims& dims,
                                                  std::span<const int> wires);
 
 /**
- * Memoises plans by wire tuple so every operation on the same wires of one
- * register shares one set of tables (gate, gate errors, Kraus operators).
+ * Memoises plans by (wire tuple, variant salt) so every operation on the
+ * same wires of one register shares one set of tables (gate, gate errors,
+ * Kraus operators). The salt is part of the cache CONTRACT: callers
+ * compiling under a runtime-toggleable setting (the fusion stage keys its
+ * fused-group plans by the fusion cost cap) must key by that setting, so
+ * a shared cache can never hand back a plan variant built under a
+ * different one. Today a plan is a pure function of (dims, wires) — the
+ * salt buys aliasing-freedom for the day plan construction becomes
+ * settings-dependent (e.g. cap-scaled base-table materialisation), at the
+ * cost of an occasional duplicate table for wire tuples hosting both
+ * fused and plain ops. Plain per-op geometry uses salt 0.
  * The map is guarded by a mutex, so concurrent compilation (e.g. ops
  * compiled under OpenMP, or several engines sharing one cache) is safe;
  * the plans themselves are immutable and freely shareable. Copying a
@@ -106,21 +115,24 @@ class PlanCache {
 
     const WireDims& dims() const { return dims_; }
 
-    /** Returns the cached plan for `wires`, building it on first use.
-     *  Concurrent callers asking for the same wires all receive the same
-     *  plan (one thread builds, the rest wait on the lock). */
-    std::shared_ptr<const ApplyPlan> get(std::span<const int> wires);
+    /** Returns the cached plan for (`wires`, `salt`), building it on first
+     *  use. Concurrent callers asking for the same key all receive the
+     *  same plan (one thread builds, the rest wait on the lock). */
+    std::shared_ptr<const ApplyPlan> get(std::span<const int> wires,
+                                         Index salt = 0);
 
     /** Seeds the cache with an existing plan (e.g. one built by a
      *  CompiledCircuit) so later compilations on the same wires share its
      *  tables instead of rebuilding them. */
     void put(std::span<const int> wires,
-             std::shared_ptr<const ApplyPlan> plan);
+             std::shared_ptr<const ApplyPlan> plan, Index salt = 0);
 
   private:
     WireDims dims_;
     mutable std::mutex mutex_;
-    std::map<std::vector<int>, std::shared_ptr<const ApplyPlan>> plans_;
+    std::map<std::pair<std::vector<int>, Index>,
+             std::shared_ptr<const ApplyPlan>>
+        plans_;
 };
 
 }  // namespace qd::exec

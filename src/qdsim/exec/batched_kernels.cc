@@ -84,6 +84,74 @@ run_permutation_b(const CompiledOp& op, Complex* amps, const std::size_t B,
 }
 
 void
+run_monomial_b(const CompiledOp& op, Complex* amps, const std::size_t B,
+               BatchedScratch& scratch)
+{
+    const ApplyPlan& plan = *op.plan;
+    const std::int64_t nouter =
+        static_cast<std::int64_t>(plan.outer_count());
+    const Index* cyc = op.cycle_offsets.data();
+    const Complex* ph = op.cycle_phases.data();
+    const std::uint32_t* lens = op.cycle_lengths.data();
+    const std::size_t ncycles = op.cycle_lengths.size();
+    // dst[b] = src[b] * phase, lane loop on raw re/im doubles (matches the
+    // single-shot complex multiply bitwise; see the note at the top).
+    auto move_scaled = [&](Complex* dst, const Complex* src, Complex f) {
+        const Real fr = f.real(), fi = f.imag();
+        Real* d = as_reals(dst);
+        const Real* s = as_reals(src);
+        QD_SIMD
+        for (std::size_t l = 0; l < B; ++l) {
+            const Real ar = s[2 * l], ai = s[2 * l + 1];
+            d[2 * l] = ar * fr - ai * fi;
+            d[2 * l + 1] = ar * fi + ai * fr;
+        }
+    };
+    auto do_block = [&](Index base, Complex* tmp) {
+        const Index* c = cyc;
+        const Complex* v = ph;
+        for (std::size_t j = 0; j < ncycles; ++j) {
+            const std::uint32_t len = lens[j];
+            if (len == 1) {
+                Complex* p = amps + (base + c[0]) * B;
+                move_scaled(p, p, v[0]);
+            } else {
+                move_scaled(tmp, amps + (base + c[len - 1]) * B, v[len - 1]);
+                for (std::uint32_t i = len - 1; i >= 1; --i) {
+                    move_scaled(amps + (base + c[i]) * B,
+                                amps + (base + c[i - 1]) * B, v[i - 1]);
+                }
+                Complex* first = amps + (base + c[0]) * B;
+                for (std::size_t b = 0; b < B; ++b) {
+                    first[b] = tmp[b];
+                }
+            }
+            c += len;
+            v += len;
+        }
+    };
+#ifdef _OPENMP
+    if (nouter >= static_cast<std::int64_t>(kParallelOuter)) {
+#pragma omp parallel
+        {
+            std::vector<Complex> tmp(B);
+#pragma omp for schedule(static)
+            for (std::int64_t o = 0; o < nouter; ++o) {
+                do_block(plan.base_of(static_cast<Index>(o)), tmp.data());
+            }
+        }
+        return;
+    }
+#endif
+    if (scratch.tmp.size() < B) {
+        scratch.tmp.resize(B);
+    }
+    for (std::int64_t o = 0; o < nouter; ++o) {
+        do_block(plan.base_of(static_cast<Index>(o)), scratch.tmp.data());
+    }
+}
+
+void
 run_diagonal_b(const CompiledOp& op, Complex* amps, const std::size_t B)
 {
     const ApplyPlan& plan = *op.plan;
@@ -339,6 +407,9 @@ apply_op_batched(const CompiledOp& op, BatchedStateVector& psi,
             return;
         case KernelKind::kDiagonal:
             run_diagonal_b(op, amps, B);
+            return;
+        case KernelKind::kMonomial:
+            run_monomial_b(op, amps, B, scratch);
             return;
         case KernelKind::kSingleWireD2:
             run_single_d2_b(op, amps, psi.size(), B);

@@ -2,17 +2,73 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 namespace qd::exec {
+
+void
+CompiledCircuit::compile_plain(const Circuit& circuit, PlanCache& cache)
+{
+    ops_.reserve(circuit.num_ops());
+    std::uint32_t index = 0;
+    for (const Operation& op : circuit.ops()) {
+        ops_.push_back(compile_op(dims_, op.gate, op.wires, &cache));
+        ops_.back().source_ops.assign(1, index++);
+        max_block_ = std::max(max_block_, op.gate.block_size());
+    }
+    num_source_ops_ = circuit.num_ops();
+}
 
 CompiledCircuit::CompiledCircuit(const Circuit& circuit)
     : dims_(circuit.dims())
 {
     PlanCache cache(dims_);
-    ops_.reserve(circuit.num_ops());
-    for (const Operation& op : circuit.ops()) {
-        ops_.push_back(compile_op(dims_, op.gate, op.wires, &cache));
-        max_block_ = std::max(max_block_, op.gate.block_size());
+    compile_plain(circuit, cache);
+}
+
+CompiledCircuit::CompiledCircuit(const Circuit& circuit,
+                                 const FusionOptions& options,
+                                 std::span<const std::uint8_t> fence_after,
+                                 PlanCache* cache)
+    : dims_(circuit.dims())
+{
+    PlanCache local(dims_);
+    PlanCache& use = cache != nullptr ? *cache : local;
+    if (!options.enabled) {
+        compile_plain(circuit, use);
+        return;
+    }
+    const std::span<const Operation> ops(circuit.ops());
+    const std::vector<FusedGroup> groups =
+        fuse_sites(dims_, ops, fence_after, options);
+    ops_.reserve(groups.size());
+    for (const FusedGroup& group : groups) {
+        if (group.members.size() == 1) {
+            // Singleton: compile exactly like the unfused path (same plan
+            // key, same kernel), so disabled-fusion and unfused-group
+            // execution stay bitwise identical.
+            const Operation& op = ops[group.members[0]];
+            ops_.push_back(compile_op(dims_, op.gate, op.wires, &use));
+            max_block_ = std::max(max_block_, op.gate.block_size());
+        } else {
+            std::vector<int> gate_dims;
+            gate_dims.reserve(group.wires.size());
+            for (const int w : group.wires) {
+                gate_dims.push_back(dims_.dim(w));
+            }
+            const Gate fused(
+                "fused[" + std::to_string(group.members.size()) + "]",
+                std::move(gate_dims), fused_matrix(dims_, ops, group));
+            // Fused-group plans are keyed by the cap (see PlanCache) so a
+            // shared cache across compilations with different fusion
+            // settings can never hand back a stale variant.
+            ops_.push_back(compile_op(dims_, fused, group.wires, &use,
+                                      options.max_block));
+            max_block_ = std::max(max_block_, fused.block_size());
+            ++num_fused_groups_;
+        }
+        ops_.back().source_ops = group.members;
+        num_source_ops_ += group.members.size();
     }
 }
 
@@ -46,6 +102,9 @@ CompiledCircuit::kernel_counts() const
                 break;
             case KernelKind::kDiagonal:
                 ++counts.diagonal;
+                break;
+            case KernelKind::kMonomial:
+                ++counts.monomial;
                 break;
             case KernelKind::kSingleWireD2:
             case KernelKind::kSingleWireD3:

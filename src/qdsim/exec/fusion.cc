@@ -1,0 +1,360 @@
+#include "qdsim/exec/fusion.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "qdsim/exec/kernels.h"
+
+namespace qd::exec {
+
+namespace {
+
+/**
+ * Coarse cost class used by the fusion decision (the real kernel is chosen
+ * later by compile_op on the fused matrix):
+ *  - kLight: permutation / diagonal / monomial — O(block) per block, and
+ *    closed under products, so these fuse unconditionally.
+ *  - kControlled: identity except on one control subspace; products of two
+ *    ops with the SAME control signature stay controlled.
+ *  - kHeavy: dense matvec, O(block^2) per block.
+ */
+enum class FuseClass : std::uint8_t { kLight, kControlled, kHeavy };
+
+/** Control signature: (wire, activation value) pairs, sorted by wire. */
+using CtrlSig = std::vector<std::pair<int, int>>;
+
+FuseClass
+classify(const Operation& op, CtrlSig& sig)
+{
+    const Gate& g = op.gate;
+    if (g.is_permutation() || g.is_diagonal_gate()) {
+        return FuseClass::kLight;
+    }
+    std::vector<Index> perm;
+    std::vector<Complex> phase;
+    if (monomial_action(g.matrix(), perm, phase)) {
+        return FuseClass::kLight;
+    }
+    if (g.has_controlled_structure()) {
+        const ControlledStructure& cs = g.controlled_structure();
+        for (int i = 0; i < cs.num_controls; ++i) {
+            sig.emplace_back(op.wires[static_cast<std::size_t>(i)],
+                             cs.control_values[static_cast<std::size_t>(i)]);
+        }
+        std::sort(sig.begin(), sig.end());
+        return FuseClass::kControlled;
+    }
+    return FuseClass::kHeavy;
+}
+
+/** Relation of two sorted wire sets. */
+enum class SetRel : std::uint8_t {
+    kEqual,
+    kFirstSuper,   ///< second ⊂ first
+    kSecondSuper,  ///< first ⊂ second
+    kDisjoint,
+    kOverlap,      ///< intersecting, neither nested
+};
+
+SetRel
+relation(const std::vector<int>& a, const std::vector<int>& b)
+{
+    if (a == b) {
+        return SetRel::kEqual;
+    }
+    bool intersect = false;
+    std::size_t i = 0, j = 0, common = 0;
+    while (i < a.size() && j < b.size()) {
+        if (a[i] == b[j]) {
+            intersect = true;
+            ++common;
+            ++i;
+            ++j;
+        } else if (a[i] < b[j]) {
+            ++i;
+        } else {
+            ++j;
+        }
+    }
+    if (!intersect) {
+        return SetRel::kDisjoint;
+    }
+    if (common == b.size()) {
+        return SetRel::kFirstSuper;
+    }
+    if (common == a.size()) {
+        return SetRel::kSecondSuper;
+    }
+    return SetRel::kOverlap;
+}
+
+/** A group still eligible to absorb later operations. */
+struct OpenGroup {
+    std::vector<int> wires;     ///< operand order of the fused matrix
+    std::vector<int> wire_set;  ///< sorted, for set relations
+    std::vector<std::uint32_t> members;
+    FuseClass cls = FuseClass::kHeavy;
+    CtrlSig ctrl_sig;
+    Index block = 1;
+};
+
+Index
+block_of(const WireDims& dims, const std::vector<int>& wires)
+{
+    Index b = 1;
+    for (const int w : wires) {
+        b *= static_cast<Index>(dims.dim(w));
+    }
+    return b;
+}
+
+/**
+ * Decides whether `g` may absorb an op of class `cls` / signature `sig`
+ * whose wire set stands in relation `rel` to the group's; on success
+ * returns true and updates the group's class metadata (wires are updated
+ * by the caller). `fused_block` / `fused_wires` describe the superset
+ * wire set.
+ *
+ * The guiding rule (measured on the gen-Toffoli and incrementer
+ * workloads): fusion must never CREATE a multi-wire dense block out of
+ * cheaper kernels — the dense gather matvec costs O(block) multiplies per
+ * amplitude where the structured kernels (permutation/diagonal/monomial
+ * cycle walks, controlled subspace passes, unrolled single-wire) cost
+ * O(1), so densifying loses more per pass than the removed pass saved.
+ * Profitable merges are exactly:
+ *  - light ∘ light: closed under products, the result stays a cycle-walk
+ *    or diagonal kernel — strictly fewer passes at the same per-pass
+ *    cost;
+ *  - anything collapsing onto ONE wire: the result runs on the unrolled
+ *    d2/d3 kernels, one contiguous pass replacing the whole run;
+ *  - absorbing into an EXISTING dense block (subset or equal operands,
+ *    either direction): the dense pass cost is unchanged and the
+ *    absorbed pass disappears;
+ *  - controlled ∘ controlled with identical control signatures: the
+ *    inner operators multiply and the product stays controlled.
+ *
+ * Every multi-wire merge — light ones included — is bounded by
+ * FusionOptions::max_block: fused_matrix() pays O(block^3) per member
+ * whatever the runtime kernel ends up being, so an uncapped chain of
+ * nested light ops (X; CX; CCX; ... — multi-controlled permutations are
+ * permutations) would compile full-register dense products, O(D^3) time
+ * and O(D^2) memory per member.
+ */
+bool
+try_merge_class(OpenGroup& g, FuseClass cls, const CtrlSig& sig, SetRel rel,
+                Index fused_block, std::size_t fused_wires,
+                const FusionOptions& options)
+{
+    if (fused_wires == 1) {
+        // Single-wire runs collapse onto the unrolled kernels whatever
+        // the member classes (the block is the wire dimension — tiny).
+        const bool both_light =
+            g.cls == FuseClass::kLight && cls == FuseClass::kLight;
+        if (!both_light) {
+            g.cls = FuseClass::kHeavy;
+            g.ctrl_sig.clear();
+        }
+        return true;
+    }
+    if (fused_block > options.max_block) {
+        return false;  // bounds runtime degradation AND compile cost
+    }
+    if (g.cls == FuseClass::kLight && cls == FuseClass::kLight) {
+        return true;  // closed under products, O(block) kernels
+    }
+    const bool group_dense =
+        g.cls == FuseClass::kHeavy && g.wires.size() > 1;
+    if (group_dense && rel != SetRel::kSecondSuper) {
+        return true;  // ride along in the existing dense block
+    }
+    if (cls == FuseClass::kHeavy && rel == SetRel::kSecondSuper) {
+        // The op's own dense block subsumes the group's operands.
+        g.cls = FuseClass::kHeavy;
+        g.ctrl_sig.clear();
+        return true;
+    }
+    if (g.cls == FuseClass::kControlled && cls == FuseClass::kControlled &&
+        rel == SetRel::kEqual && g.ctrl_sig == sig) {
+        // Same control signature: the product stays controlled (inner
+        // operators multiply). Different signatures would densify two
+        // cheap subspace passes into one full dense pass — a loss.
+        return true;
+    }
+    return false;
+}
+
+}  // namespace
+
+std::vector<FusedGroup>
+fuse_sites(const WireDims& dims, std::span<const Operation> ops,
+           std::span<const std::uint8_t> fence_after,
+           const FusionOptions& options)
+{
+    if (!fence_after.empty() && fence_after.size() != ops.size()) {
+        throw std::invalid_argument(
+            "fuse_sites: fence_after size does not match ops");
+    }
+    std::vector<OpenGroup> groups;
+    groups.reserve(ops.size());
+    std::size_t first_open = 0;
+    for (std::uint32_t j = 0; j < ops.size(); ++j) {
+        const Operation& op = ops[j];
+        std::vector<int> set(op.wires);
+        std::sort(set.begin(), set.end());
+        bool merged = false;
+        if (options.enabled) {
+            CtrlSig sig;
+            const FuseClass cls = classify(op, sig);
+            for (std::size_t k = groups.size(); k-- > first_open;) {
+                OpenGroup& g = groups[k];
+                const SetRel rel = relation(g.wire_set, set);
+                if (rel == SetRel::kDisjoint) {
+                    continue;  // commutes: slide past
+                }
+                if (rel == SetRel::kOverlap) {
+                    break;  // shares wires without nesting: hard boundary
+                }
+                const bool op_super = rel == SetRel::kSecondSuper;
+                const Index fused_block =
+                    op_super ? block_of(dims, op.wires) : g.block;
+                const std::size_t fused_wires =
+                    op_super ? op.wires.size() : g.wires.size();
+                if (try_merge_class(g, cls, sig, rel, fused_block,
+                                    fused_wires, options)) {
+                    if (op_super) {
+                        g.wires = op.wires;
+                        g.wire_set = std::move(set);
+                        g.block = fused_block;
+                    }
+                    g.members.push_back(j);
+                    merged = true;
+                }
+                break;  // fused or not, can't slide past shared wires
+            }
+        }
+        if (!merged) {
+            OpenGroup g;
+            g.wires = op.wires;
+            g.wire_set = std::move(set);
+            g.members.push_back(j);
+            g.block = block_of(dims, op.wires);
+            if (options.enabled) {
+                g.cls = classify(op, g.ctrl_sig);
+            }
+            groups.push_back(std::move(g));
+        }
+        if (!fence_after.empty() && fence_after[j] != 0) {
+            first_open = groups.size();
+        }
+    }
+
+    std::vector<FusedGroup> out;
+    out.reserve(groups.size());
+    for (OpenGroup& g : groups) {
+        out.push_back(FusedGroup{std::move(g.wires), std::move(g.members)});
+    }
+    return out;
+}
+
+Matrix
+embed_into_block(const WireDims& dims, std::span<const int> group_wires,
+                 std::span<const int> op_wires, const Matrix& m)
+{
+    const std::size_t kg = group_wires.size();
+    const std::size_t ko = op_wires.size();
+    std::vector<std::size_t> pos(ko);
+    for (std::size_t i = 0; i < ko; ++i) {
+        bool found = false;
+        for (std::size_t g = 0; g < kg; ++g) {
+            if (group_wires[g] == op_wires[i]) {
+                pos[i] = g;
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            throw std::invalid_argument(
+                "embed_into_block: op wire not in group wires");
+        }
+    }
+    Index bg = 1;
+    std::vector<Index> gdim(kg);
+    for (std::size_t g = 0; g < kg; ++g) {
+        gdim[g] = static_cast<Index>(dims.dim(group_wires[g]));
+        bg *= gdim[g];
+    }
+    if (static_cast<Index>(m.rows()) != block_of(
+            dims, std::vector<int>(op_wires.begin(), op_wires.end())) ||
+        m.rows() != m.cols()) {
+        throw std::invalid_argument(
+            "embed_into_block: matrix size does not match op wires");
+    }
+
+    // For each group-local index: the op-local index of its operand digits
+    // (op operand order) and a packed key of the remaining digits.
+    std::vector<Index> op_index(static_cast<std::size_t>(bg));
+    std::vector<Index> rest_index(static_cast<std::size_t>(bg));
+    std::vector<Index> digit(kg);
+    for (Index r = 0; r < bg; ++r) {
+        Index x = r;
+        for (std::size_t g = kg; g-- > 0;) {
+            digit[g] = x % gdim[g];
+            x /= gdim[g];
+        }
+        Index lo = 0;
+        for (std::size_t i = 0; i < ko; ++i) {
+            lo = lo * gdim[pos[i]] + digit[pos[i]];
+        }
+        Index rest = 0;
+        for (std::size_t g = 0; g < kg; ++g) {
+            bool is_op = false;
+            for (const std::size_t p : pos) {
+                if (p == g) {
+                    is_op = true;
+                    break;
+                }
+            }
+            if (!is_op) {
+                rest = rest * gdim[g] + digit[g];
+            }
+        }
+        op_index[static_cast<std::size_t>(r)] = lo;
+        rest_index[static_cast<std::size_t>(r)] = rest;
+    }
+
+    Matrix full(static_cast<std::size_t>(bg), static_cast<std::size_t>(bg));
+    for (Index r = 0; r < bg; ++r) {
+        for (Index c = 0; c < bg; ++c) {
+            if (rest_index[static_cast<std::size_t>(r)] !=
+                rest_index[static_cast<std::size_t>(c)]) {
+                continue;
+            }
+            full(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) =
+                m(static_cast<std::size_t>(
+                      op_index[static_cast<std::size_t>(r)]),
+                  static_cast<std::size_t>(
+                      op_index[static_cast<std::size_t>(c)]));
+        }
+    }
+    return full;
+}
+
+Matrix
+fused_matrix(const WireDims& dims, std::span<const Operation> ops,
+             const FusedGroup& group)
+{
+    Matrix acc;
+    for (const std::uint32_t idx : group.members) {
+        const Operation& op = ops[idx];
+        const Matrix em =
+            op.wires == group.wires
+                ? op.gate.matrix()
+                : embed_into_block(dims, group.wires, op.wires,
+                                   op.gate.matrix());
+        acc = acc.empty() ? em : em * acc;
+    }
+    return acc;
+}
+
+}  // namespace qd::exec

@@ -1,0 +1,115 @@
+/**
+ * @file fusion.h
+ * Compile-time operator fusion: merge adjacent operations on identical or
+ * nested wire sets into one block before kernel classification.
+ *
+ * The paper's circuit constructions (Generalized Toffoli decompositions,
+ * incrementers, lifted qubit networks) produce long runs of small gates on
+ * the same one or two wires. Every engine pays per-op plan/dispatch and a
+ * full pass over the state for work that one fused block can do in a
+ * single pass, so the fusion stage matrix-multiplies such runs into one
+ * operator at compile time:
+ *
+ *  - Adjacency is dependency adjacency, not list adjacency: an operation
+ *    may slide back past any group acting on disjoint wires (they
+ *    commute), so `H(t); CNOT(b,t); T(t)` fuses even when scheduled
+ *    around unrelated gates.
+ *  - Wire sets must be identical or nested; a subset operand embeds into
+ *    the larger block (kron with identity on the extra wires), so the
+ *    fused block never exceeds the largest block already in the run.
+ *  - Kernel-class algebra keeps fusions on fast paths: permutation ∘
+ *    permutation stays a permutation cycle walk, diagonal ∘ diagonal a
+ *    fused diagonal, phase ∘ permutation a monomial — these
+ *    "light" classes fuse unconditionally because their kernels cost
+ *    O(block) per block. Fusions that produce a dense (or controlled)
+ *    block are capped by FusionOptions::max_block so fusion never crosses
+ *    the dense-block blowup threshold, and two structured heavy ops only
+ *    merge when the product provably stays profitable (identical wire
+ *    sets; controlled ∘ controlled only with identical control
+ *    signatures, where the product stays controlled).
+ *  - Fences pin operation boundaries that noise must observe: the
+ *    trajectory and density-matrix engines fence every operation that
+ *    draws a gate-error channel, so errors always attach to pre-fusion
+ *    op boundaries and never migrate into a fused block.
+ *
+ * The partition (fuse_sites) is engine-agnostic: CompiledCircuit lowers
+ * groups to state-vector kernels (shared by the batched lane engine), and
+ * the density-matrix path compiles the same groups to superoperators.
+ */
+#ifndef QDSIM_EXEC_FUSION_H
+#define QDSIM_EXEC_FUSION_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "qdsim/circuit.h"
+#include "qdsim/matrix.h"
+
+namespace qd::exec {
+
+/** Settings for the compile-time fusion stage. */
+struct FusionOptions {
+    /** Master switch; disabled compiles every operation separately
+     *  (bitwise identical to the pre-fusion engines). */
+    bool enabled = true;
+    /**
+     * Largest block any multi-wire fused group may reach: 27 admits
+     * three-qutrit and up-to-four-qubit blocks. The cap bounds both the
+     * runtime dense-blowup (a dense matvec costs O(block) multiplies per
+     * amplitude) and the compile-time cost of building the fused matrix
+     * (O(block^3) per member — an uncapped chain of nested permutations
+     * like X; CX; CCX; ... would otherwise compile full-register
+     * products). Only single-wire collapses are exempt (their block is
+     * the wire dimension). Also the PlanCache salt for fused-group
+     * plans: the cap is runtime-toggleable and shapes the partition, so
+     * it is part of the plan-cache key by contract (see PlanCache) even
+     * though plan geometry itself is cap-independent today.
+     */
+    Index max_block = 27;
+};
+
+/** One fused group: operations `members` (indices into the compiled
+ *  sequence, ascending application order) merged into a single operator
+ *  over `wires` (operand order of the matrix basis, wires[0] most
+ *  significant). */
+struct FusedGroup {
+    std::vector<int> wires;
+    std::vector<std::uint32_t> members;
+};
+
+/**
+ * Partitions an operation sequence into fused groups.
+ *
+ * `fence_after[i] != 0` (when non-empty; must match ops.size()) closes
+ * every open group after placing op i: nothing later may fuse with, or
+ * slide past, anything at or before i. Engines fence the ops whose
+ * boundaries carry noise channels.
+ *
+ * With fusion disabled (or an empty sequence) every op is its own group.
+ * Groups are returned in application order; every op index appears in
+ * exactly one group.
+ */
+std::vector<FusedGroup> fuse_sites(const WireDims& dims,
+                                   std::span<const Operation> ops,
+                                   std::span<const std::uint8_t> fence_after,
+                                   const FusionOptions& options);
+
+/**
+ * Embeds a k-local operator `m` over `op_wires` into the block over
+ * `group_wires` (every op wire must appear among the group wires; both in
+ * operand order, wires[0] most significant). Handles operand reordering:
+ * the same wire set in a different order embeds through the digit map.
+ */
+Matrix embed_into_block(const WireDims& dims,
+                        std::span<const int> group_wires,
+                        std::span<const int> op_wires, const Matrix& m);
+
+/** Product of the group's operator matrices over the group block —
+ *  members applied in order, i.e. matrix(last) * ... * matrix(first). */
+Matrix fused_matrix(const WireDims& dims, std::span<const Operation> ops,
+                    const FusedGroup& group);
+
+}  // namespace qd::exec
+
+#endif  // QDSIM_EXEC_FUSION_H

@@ -1,5 +1,6 @@
 #include "qdsim/exec/kernels.h"
 
+#include <cmath>
 #include <cstdint>
 #include <stdexcept>
 
@@ -57,6 +58,48 @@ run_permutation(const CompiledOp& op, Complex* amps)
             }
             amps[base + c[0]] = tmp;
             c += len;
+        }
+    };
+#ifdef _OPENMP
+    if (nouter >= static_cast<std::int64_t>(kParallelOuter)) {
+#pragma omp parallel for schedule(static)
+        for (std::int64_t o = 0; o < nouter; ++o) {
+            do_block(plan.base_of(static_cast<Index>(o)));
+        }
+        return;
+    }
+#endif
+    for (std::int64_t o = 0; o < nouter; ++o) {
+        do_block(plan.base_of(static_cast<Index>(o)));
+    }
+}
+
+void
+run_monomial(const CompiledOp& op, Complex* amps)
+{
+    const ApplyPlan& plan = *op.plan;
+    const std::int64_t nouter =
+        static_cast<std::int64_t>(plan.outer_count());
+    const Index* cyc = op.cycle_offsets.data();
+    const Complex* ph = op.cycle_phases.data();
+    const std::uint32_t* lens = op.cycle_lengths.data();
+    const std::size_t ncycles = op.cycle_lengths.size();
+    auto do_block = [&](Index base) {
+        const Index* c = cyc;
+        const Complex* v = ph;
+        for (std::size_t j = 0; j < ncycles; ++j) {
+            const std::uint32_t len = lens[j];
+            if (len == 1) {
+                amps[base + c[0]] *= v[0];
+            } else {
+                const Complex tmp = amps[base + c[len - 1]] * v[len - 1];
+                for (std::uint32_t i = len - 1; i >= 1; --i) {
+                    amps[base + c[i]] = amps[base + c[i - 1]] * v[i - 1];
+                }
+                amps[base + c[0]] = tmp;
+            }
+            c += len;
+            v += len;
         }
     };
 #ifdef _OPENMP
@@ -268,6 +311,69 @@ run_dense(const CompiledOp& op, Complex* amps, ExecScratch& scratch)
 
 }  // namespace
 
+void
+build_monomial_cycles(const std::vector<Index>& perm,
+                      const std::vector<Complex>& phase,
+                      const ApplyPlan& plan, std::vector<Index>& offsets,
+                      std::vector<Complex>& phases,
+                      std::vector<std::uint32_t>& lengths)
+{
+    const Index block = plan.block;
+    std::vector<bool> seen(static_cast<std::size_t>(block), false);
+    for (Index start = 0; start < block; ++start) {
+        const std::size_t us = static_cast<std::size_t>(start);
+        if (seen[us]) {
+            continue;
+        }
+        if (perm[us] == start) {
+            if (std::abs(phase[us] - Complex(1, 0)) <= kTol) {
+                continue;  // identity fixed point
+            }
+            offsets.push_back(plan.local_offset[us]);
+            phases.push_back(phase[us]);
+            lengths.push_back(1);
+            continue;
+        }
+        std::uint32_t len = 0;
+        Index b = start;
+        do {
+            const std::size_t ub = static_cast<std::size_t>(b);
+            seen[ub] = true;
+            offsets.push_back(plan.local_offset[ub]);
+            phases.push_back(phase[ub]);
+            ++len;
+            b = perm[ub];
+        } while (b != start);
+        lengths.push_back(len);
+    }
+}
+
+bool
+monomial_action(const Matrix& op, std::vector<Index>& perm,
+                std::vector<Complex>& phase)
+{
+    const std::size_t n = op.rows();
+    perm.assign(n, 0);
+    phase.assign(n, Complex(0, 0));
+    std::vector<bool> row_used(n, false);
+    for (std::size_t c = 0; c < n; ++c) {
+        std::size_t hits = 0, row = 0;
+        for (std::size_t r = 0; r < n; ++r) {
+            if (std::abs(op(r, c)) > kTol) {
+                ++hits;
+                row = r;
+            }
+        }
+        if (hits != 1 || row_used[row]) {
+            return false;
+        }
+        row_used[row] = true;
+        perm[c] = static_cast<Index>(row);
+        phase[c] = op(row, c);
+    }
+    return true;
+}
+
 const char*
 kernel_name(KernelKind kind)
 {
@@ -276,6 +382,8 @@ kernel_name(KernelKind kind)
             return "permutation";
         case KernelKind::kDiagonal:
             return "diagonal";
+        case KernelKind::kMonomial:
+            return "monomial";
         case KernelKind::kSingleWireD2:
             return "single_wire_d2";
         case KernelKind::kSingleWireD3:
@@ -290,7 +398,7 @@ kernel_name(KernelKind kind)
 
 CompiledOp
 compile_op(const WireDims& dims, const Gate& gate,
-           std::span<const int> wires, PlanCache* cache)
+           std::span<const int> wires, PlanCache* cache, Index plan_salt)
 {
     if (gate.empty()) {
         throw std::invalid_argument("compile_op: empty gate");
@@ -332,7 +440,7 @@ compile_op(const WireDims& dims, const Gate& gate,
         return op;
     }
 
-    op.plan = cache != nullptr ? cache->get(wires)
+    op.plan = cache != nullptr ? cache->get(wires, plan_salt)
                                : make_apply_plan(dims, wires);
     if (gate.is_permutation()) {
         op.kind = KernelKind::kPermutation;
@@ -348,6 +456,19 @@ compile_op(const WireDims& dims, const Gate& gate,
                               static_cast<std::size_t>(b));
         }
         return op;
+    }
+    {
+        // Generalized permutation (one nonzero per row/column): cycle walk
+        // with a phase multiply per move — covers X^j Z^k error terms and
+        // the phase∘permutation blocks the fusion stage produces.
+        std::vector<Index> perm;
+        std::vector<Complex> phase;
+        if (monomial_action(gate.matrix(), perm, phase)) {
+            op.kind = KernelKind::kMonomial;
+            build_monomial_cycles(perm, phase, *op.plan, op.cycle_offsets,
+                                  op.cycle_phases, op.cycle_lengths);
+            return op;
+        }
     }
     if (gate.has_controlled_structure()) {
         const ControlledStructure& cs = gate.controlled_structure();
@@ -379,6 +500,9 @@ apply_op(const CompiledOp& op, StateVector& psi, ExecScratch& scratch)
             return;
         case KernelKind::kDiagonal:
             run_diagonal(op, amps);
+            return;
+        case KernelKind::kMonomial:
+            run_monomial(op, amps);
             return;
         case KernelKind::kSingleWireD2:
             run_single_d2(op, amps, psi.size());

@@ -9,6 +9,10 @@
  *  - kPermutation: pure index remap along precomputed cycles; zero complex
  *    multiplies. Covers X/CX/Toffoli-family gates of any arity.
  *  - kDiagonal: in-place scale by the diagonal; any arity.
+ *  - kMonomial: generalized permutations (exactly one nonzero per row and
+ *    column — X^j Z^k depolarizing terms, and the phase∘permutation
+ *    products the fusion stage emits): values move along precomputed
+ *    cycles with one phase multiply each, no matvec.
  *  - kSingleWireD2 / kSingleWireD3: fully unrolled dense 2x2 / 3x3 kernels
  *    walking the state in contiguous runs (no offset tables at all).
  *  - kControlled: touches only the `d^N / d^c` amplitudes where the `c`
@@ -40,6 +44,7 @@ namespace qd::exec {
 enum class KernelKind : std::uint8_t {
     kPermutation,
     kDiagonal,
+    kMonomial,
     kSingleWireD2,
     kSingleWireD3,
     kControlled,
@@ -68,9 +73,18 @@ struct CompiledOp {
     /** Offset tables; null for the single-wire unrolled kernels. */
     std::shared_ptr<const ApplyPlan> plan;
 
-    // kPermutation: concatenated non-trivial cycles of local offsets
-    // (already composed with the plan's local_offset table).
+    /** Indices of the circuit operations this compiled op realises, in
+     *  application order. One entry for a plain compilation; several when
+     *  the fusion stage merged adjacent operations into this block. */
+    std::vector<std::uint32_t> source_ops;
+
+    // kPermutation / kMonomial: concatenated non-trivial cycles of local
+    // offsets (already composed with the plan's local_offset table). For
+    // kMonomial, cycle_phases aligns with cycle_offsets: the value moving
+    // from cycle slot i to slot i+1 is scaled by cycle_phases[i], and
+    // length-1 cycles are fixed points with a non-unit phase.
     std::vector<Index> cycle_offsets;
+    std::vector<Complex> cycle_phases;
     std::vector<std::uint32_t> cycle_lengths;
 
     // kDiagonal: the matrix diagonal, local-block order.
@@ -91,15 +105,44 @@ struct CompiledOp {
 };
 
 /**
+ * Generalized-permutation scan: perm[c] = r and phase[c] = op(r, c) if
+ * every column and every row of `op` has exactly one entry above kTol.
+ * Covers all X^j Z^k depolarizing terms and phase∘permutation fusion
+ * products; returns false for anything else (e.g. non-invertible Kraus
+ * jumps), which falls through to the dense kernels.
+ */
+bool monomial_action(const Matrix& op, std::vector<Index>& perm,
+                     std::vector<Complex>& phase);
+
+/**
+ * Appends the non-trivial cycles of a monomial action to the three
+ * parallel output vectors, composed with the plan's local offsets so
+ * kernels walk state offsets directly. A value at cycle slot i moves to
+ * slot i+1 scaled by phases[i]; length-1 cycles are fixed points with a
+ * non-unit phase (identity fixed points are skipped). Shared by the
+ * state-vector (CompiledOp) and superoperator (CompiledSuperOp) monomial
+ * compilers so the two kernels can never diverge.
+ */
+void build_monomial_cycles(const std::vector<Index>& perm,
+                           const std::vector<Complex>& phase,
+                           const ApplyPlan& plan,
+                           std::vector<Index>& offsets,
+                           std::vector<Complex>& phases,
+                           std::vector<std::uint32_t>& lengths);
+
+/**
  * Compiles one (gate, wires) application site against `dims`, choosing the
  * kernel from the gate's cached structure. `cache` (optional) shares
- * ApplyPlans between operations on the same wires.
+ * ApplyPlans between operations on the same wires; `plan_salt`
+ * distinguishes plan variants in the cache (the fusion stage keys fused
+ * groups by its cost cap — see PlanCache).
  *
  * @throws std::invalid_argument on wire/dimension mismatches (same
  *         contract as Circuit::append / StateVector::apply).
  */
 CompiledOp compile_op(const WireDims& dims, const Gate& gate,
-                      std::span<const int> wires, PlanCache* cache = nullptr);
+                      std::span<const int> wires, PlanCache* cache = nullptr,
+                      Index plan_salt = 0);
 
 /** Executes a compiled operation in place. `psi` must be over the dims the
  *  op was compiled for. */

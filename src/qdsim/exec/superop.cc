@@ -8,76 +8,12 @@ namespace qd::exec {
 
 namespace {
 
-/**
- * Generalized-permutation scan: perm[c] = r and phase[c] = op(r, c) if
- * every column and every row of `op` has exactly one entry above tol.
- * Covers all X^j Z^k depolarizing terms; fails (returns false) for
- * non-invertible Kraus jumps, which fall through to the dense kernel.
- */
-bool
-monomial_action(const Matrix& op, std::vector<Index>& perm,
-                std::vector<Complex>& phase)
-{
-    const std::size_t n = op.rows();
-    perm.assign(n, 0);
-    phase.assign(n, Complex(0, 0));
-    std::vector<bool> row_used(n, false);
-    for (std::size_t c = 0; c < n; ++c) {
-        std::size_t hits = 0, row = 0;
-        for (std::size_t r = 0; r < n; ++r) {
-            if (std::abs(op(r, c)) > kTol) {
-                ++hits;
-                row = r;
-            }
-        }
-        if (hits != 1 || row_used[row]) {
-            return false;
-        }
-        row_used[row] = true;
-        perm[c] = static_cast<Index>(row);
-        phase[c] = op(row, c);
-    }
-    return true;
-}
-
-/** Builds the non-trivial cycles of a monomial action, composed with the
- *  plan's local offsets (mirrors build_cycles in kernels.cc, plus the
- *  per-move multiplier). A value at cycle slot i moves to slot i+1 scaled
- *  by cycle_phases[i]; length-1 cycles are phase-only fixed points. */
-void
-build_monomial_cycles(const std::vector<Index>& perm,
-                      const std::vector<Complex>& phase,
-                      const ApplyPlan& plan, CompiledSuperOp& out)
-{
-    const Index block = plan.block;
-    std::vector<bool> seen(static_cast<std::size_t>(block), false);
-    for (Index start = 0; start < block; ++start) {
-        const std::size_t us = static_cast<std::size_t>(start);
-        if (seen[us]) {
-            continue;
-        }
-        if (perm[us] == start) {
-            if (std::abs(phase[us] - Complex(1, 0)) <= kTol) {
-                continue;  // identity fixed point
-            }
-            out.cycle_offsets.push_back(plan.local_offset[us]);
-            out.cycle_phases.push_back(phase[us]);
-            out.cycle_lengths.push_back(1);
-            continue;
-        }
-        std::uint32_t len = 0;
-        Index b = start;
-        do {
-            const std::size_t ub = static_cast<std::size_t>(b);
-            seen[ub] = true;
-            out.cycle_offsets.push_back(plan.local_offset[ub]);
-            out.cycle_phases.push_back(phase[ub]);
-            ++len;
-            b = perm[ub];
-        } while (b != start);
-        out.cycle_lengths.push_back(len);
-    }
-}
+/** Register dimension above which the superoperator outer block passes go
+ *  parallel (3^6): the disjoint row/column block structure mirrors the
+ *  state-vector kernels' outer loops, but rho passes touch D^2 entries,
+ *  so the threshold sits on D rather than on block count. Below it the
+ *  loops stay serial (and bitwise identical to the pre-OpenMP engine). */
+constexpr Index kSuperParallelDim = 729;
 
 /** Expands the local diagonal to the full register: entry r of the result
  *  is the diagonal value of row r's operand digits. */
@@ -110,11 +46,7 @@ left_block_pass(const ApplyPlan& plan, Index extra, const Index* off,
                 ExecScratch& scratch)
 {
     const std::size_t need = static_cast<std::size_t>(n * dim);
-    if (scratch.in.size() < need) {
-        scratch.in.resize(need);
-    }
-    Complex* gath = scratch.in.data();
-    for (Index o = 0; o < plan.outer_count(); ++o) {
+    auto do_block = [&](Index o, Complex* gath) {
         const Index base = plan.base_of(o) + extra;
         for (Index i = 0; i < n; ++i) {
             std::memcpy(gath + i * dim, a + (base + off[i]) * dim,
@@ -139,6 +71,30 @@ left_block_pass(const ApplyPlan& plan, Index extra, const Index* off,
                 }
             }
         }
+    };
+#ifdef _OPENMP
+    if (dim >= kSuperParallelDim && plan.outer_count() > 1) {
+        // Blocks cover disjoint row sets by construction, so the outer
+        // loop parallelises exactly like the state-vector kernels; each
+        // thread gathers into its own buffer.
+        const std::int64_t nouter =
+            static_cast<std::int64_t>(plan.outer_count());
+#pragma omp parallel
+        {
+            std::vector<Complex> gath(need);
+#pragma omp for schedule(static)
+            for (std::int64_t o = 0; o < nouter; ++o) {
+                do_block(static_cast<Index>(o), gath.data());
+            }
+        }
+        return;
+    }
+#endif
+    if (scratch.in.size() < need) {
+        scratch.in.resize(need);
+    }
+    for (Index o = 0; o < plan.outer_count(); ++o) {
+        do_block(o, scratch.in.data());
     }
 }
 
@@ -153,11 +109,7 @@ right_block_pass(const ApplyPlan& plan, Index extra, const Index* off,
                  Index n, const Complex* m, Complex* a, Index dim,
                  ExecScratch& scratch)
 {
-    if (scratch.in.size() < static_cast<std::size_t>(n)) {
-        scratch.in.resize(static_cast<std::size_t>(n));
-    }
-    Complex* gath = scratch.in.data();
-    for (Index r = 0; r < dim; ++r) {
+    auto do_row = [&](Index r, Complex* gath) {
         Complex* p = a + r * dim;
         for (Index o = 0; o < plan.outer_count(); ++o) {
             const Index base = plan.base_of(o) + extra;
@@ -173,6 +125,27 @@ right_block_pass(const ApplyPlan& plan, Index extra, const Index* off,
                 p[base + off[j]] = acc;
             }
         }
+    };
+#ifdef _OPENMP
+    if (dim >= kSuperParallelDim) {
+        // Rows of rho are independent under right-multiplication.
+        const std::int64_t nrows = static_cast<std::int64_t>(dim);
+#pragma omp parallel
+        {
+            std::vector<Complex> gath(static_cast<std::size_t>(n));
+#pragma omp for schedule(static)
+            for (std::int64_t r = 0; r < nrows; ++r) {
+                do_row(static_cast<Index>(r), gath.data());
+            }
+        }
+        return;
+    }
+#endif
+    if (scratch.in.size() < static_cast<std::size_t>(n)) {
+        scratch.in.resize(static_cast<std::size_t>(n));
+    }
+    for (Index r = 0; r < dim; ++r) {
+        do_row(r, scratch.in.data());
     }
 }
 
@@ -240,7 +213,7 @@ walk_cycles_rows(const CompiledSuperOp& op, Complex* a, Index base,
 CompiledSuperOp
 compile_core(const WireDims& dims, const Matrix& op,
              std::span<const int> wires, PlanCache* cache,
-             const Gate* structured)
+             const Gate* structured, Index plan_salt)
 {
     if (op.rows() != op.cols()) {
         throw std::invalid_argument("compile_superop: operator not square");
@@ -260,7 +233,7 @@ compile_core(const WireDims& dims, const Matrix& op,
 
     CompiledSuperOp out;
     out.dim = dims.size();
-    out.plan = cache != nullptr ? cache->get(wires)
+    out.plan = cache != nullptr ? cache->get(wires, plan_salt)
                                 : make_apply_plan(dims, wires);
 
     if (op.is_diagonal(kTol)) {
@@ -272,7 +245,8 @@ compile_core(const WireDims& dims, const Matrix& op,
     std::vector<Complex> phase;
     if (monomial_action(op, perm, phase)) {
         out.kind = SuperOpKind::kMonomial;
-        build_monomial_cycles(perm, phase, *out.plan, out);
+        build_monomial_cycles(perm, phase, *out.plan, out.cycle_offsets,
+                              out.cycle_phases, out.cycle_lengths);
         return out;
     }
     if (structured != nullptr && structured->has_controlled_structure()) {
@@ -314,19 +288,22 @@ superop_kernel_name(SuperOpKind kind)
 
 CompiledSuperOp
 compile_superop(const WireDims& dims, const Matrix& op,
-                std::span<const int> wires, PlanCache* cache)
+                std::span<const int> wires, PlanCache* cache,
+                Index plan_salt)
 {
-    return compile_core(dims, op, wires, cache, nullptr);
+    return compile_core(dims, op, wires, cache, nullptr, plan_salt);
 }
 
 CompiledSuperOp
 compile_superop(const WireDims& dims, const Gate& gate,
-                std::span<const int> wires, PlanCache* cache)
+                std::span<const int> wires, PlanCache* cache,
+                Index plan_salt)
 {
     if (gate.empty()) {
         throw std::invalid_argument("compile_superop: empty gate");
     }
-    return compile_core(dims, gate.matrix(), wires, cache, &gate);
+    return compile_core(dims, gate.matrix(), wires, cache, &gate,
+                        plan_salt);
 }
 
 void
@@ -337,6 +314,21 @@ superop_apply_left(const CompiledSuperOp& op, Complex* a,
     const Index dim = op.dim;
     switch (op.kind) {
         case SuperOpKind::kDiagonal:
+#ifdef _OPENMP
+            if (dim >= kSuperParallelDim) {
+#pragma omp parallel for schedule(static)
+                for (std::int64_t r = 0;
+                     r < static_cast<std::int64_t>(dim); ++r) {
+                    const Complex s =
+                        op.full_diag[static_cast<std::size_t>(r)];
+                    Complex* row = a + static_cast<Index>(r) * dim;
+                    for (Index c = 0; c < dim; ++c) {
+                        row[c] *= s;
+                    }
+                }
+                return;
+            }
+#endif
             for (Index r = 0; r < dim; ++r) {
                 const Complex s = op.full_diag[static_cast<std::size_t>(r)];
                 Complex* row = a + r * dim;
@@ -346,6 +338,25 @@ superop_apply_left(const CompiledSuperOp& op, Complex* a,
             }
             return;
         case SuperOpKind::kMonomial:
+#ifdef _OPENMP
+            if (dim >= kSuperParallelDim && plan.outer_count() > 1) {
+                // Row blocks are disjoint across the outer index; each
+                // thread walks with its own row buffer.
+                const std::int64_t nouter =
+                    static_cast<std::int64_t>(plan.outer_count());
+#pragma omp parallel
+                {
+                    ExecScratch local;
+#pragma omp for schedule(static)
+                    for (std::int64_t o = 0; o < nouter; ++o) {
+                        walk_cycles_rows(op, a,
+                                         plan.base_of(static_cast<Index>(o)),
+                                         dim, local);
+                    }
+                }
+                return;
+            }
+#endif
             for (Index o = 0; o < plan.outer_count(); ++o) {
                 walk_cycles_rows(op, a, plan.base_of(o), dim, scratch);
             }
@@ -370,6 +381,20 @@ superop_apply_right_adjoint(const CompiledSuperOp& op, Complex* a,
     const Index dim = op.dim;
     switch (op.kind) {
         case SuperOpKind::kDiagonal:
+#ifdef _OPENMP
+            if (dim >= kSuperParallelDim) {
+#pragma omp parallel for schedule(static)
+                for (std::int64_t r = 0;
+                     r < static_cast<std::int64_t>(dim); ++r) {
+                    Complex* row = a + static_cast<Index>(r) * dim;
+                    for (Index c = 0; c < dim; ++c) {
+                        row[c] *= std::conj(
+                            op.full_diag[static_cast<std::size_t>(c)]);
+                    }
+                }
+                return;
+            }
+#endif
             for (Index r = 0; r < dim; ++r) {
                 Complex* row = a + r * dim;
                 for (Index c = 0; c < dim; ++c) {
@@ -379,6 +404,19 @@ superop_apply_right_adjoint(const CompiledSuperOp& op, Complex* a,
             }
             return;
         case SuperOpKind::kMonomial:
+#ifdef _OPENMP
+            if (dim >= kSuperParallelDim) {
+#pragma omp parallel for schedule(static)
+                for (std::int64_t r = 0;
+                     r < static_cast<std::int64_t>(dim); ++r) {
+                    Complex* p = a + static_cast<Index>(r) * dim;
+                    for (Index o = 0; o < plan.outer_count(); ++o) {
+                        walk_cycles_scalar(op, p, plan.base_of(o), true);
+                    }
+                }
+                return;
+            }
+#endif
             for (Index r = 0; r < dim; ++r) {
                 Complex* p = a + r * dim;
                 for (Index o = 0; o < plan.outer_count(); ++o) {
@@ -412,6 +450,20 @@ superop_conjugate(const CompiledSuperOp& op, Matrix& rho,
         // Fused single pass: rho(r, c) *= d[r] * conj(d[c]).
         const Complex* d = op.full_diag.data();
         const Index dim = op.dim;
+#ifdef _OPENMP
+        if (dim >= kSuperParallelDim) {
+#pragma omp parallel for schedule(static)
+            for (std::int64_t r = 0; r < static_cast<std::int64_t>(dim);
+                 ++r) {
+                const Complex dr = d[r];
+                Complex* row = a + static_cast<Index>(r) * dim;
+                for (Index c = 0; c < dim; ++c) {
+                    row[c] *= dr * std::conj(d[c]);
+                }
+            }
+            return;
+        }
+#endif
         for (Index r = 0; r < dim; ++r) {
             const Complex dr = d[r];
             Complex* row = a + r * dim;

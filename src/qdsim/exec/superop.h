@@ -92,19 +92,23 @@ struct CompiledSuperOp {
  * welcome) for density-matrix application. The operator matrix is
  * `block x block` over `wires` with wires[0] the most significant digit,
  * the same convention as Gate and StateVector::apply. `cache` (optional)
- * shares ApplyPlans with other operators on the same wires.
+ * shares ApplyPlans with other operators on the same wires; `plan_salt`
+ * distinguishes plan variants in the cache (fused groups are keyed by
+ * the fusion cap — see PlanCache).
  *
  * @throws std::invalid_argument on size/wire mismatches.
  */
 CompiledSuperOp compile_superop(const WireDims& dims, const Matrix& op,
                                 std::span<const int> wires,
-                                PlanCache* cache = nullptr);
+                                PlanCache* cache = nullptr,
+                                Index plan_salt = 0);
 
 /** Gate overload: reuses the gate's cached structure (notably the
  *  controlled-subspace split, which plain matrix inspection skips). */
 CompiledSuperOp compile_superop(const WireDims& dims, const Gate& gate,
                                 std::span<const int> wires,
-                                PlanCache* cache = nullptr);
+                                PlanCache* cache = nullptr,
+                                Index plan_salt = 0);
 
 /** A -> K_full A: applies the compiled operator to the row index of the
  *  row-major D x D matrix at `a`. */

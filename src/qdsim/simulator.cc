@@ -4,22 +4,28 @@
 
 namespace qd {
 
+// Noiseless compilation has no channel boundaries to respect, so the
+// circuit-taking entry points compile with the fusion stage enabled
+// (exec::FusionOptions defaults); callers needing the unfused reference
+// compile an exec::CompiledCircuit(circuit) themselves.
+
 void
 apply_circuit(const Circuit& circuit, StateVector& psi)
 {
-    exec::CompiledCircuit(circuit).run(psi);
+    exec::CompiledCircuit(circuit, exec::FusionOptions{}).run(psi);
 }
 
 StateVector
 simulate(const Circuit& circuit)
 {
-    return simulate(exec::CompiledCircuit(circuit));
+    return simulate(exec::CompiledCircuit(circuit, exec::FusionOptions{}));
 }
 
 StateVector
 simulate(const Circuit& circuit, const StateVector& initial)
 {
-    return simulate(exec::CompiledCircuit(circuit), initial);
+    return simulate(exec::CompiledCircuit(circuit, exec::FusionOptions{}),
+                    initial);
 }
 
 StateVector
@@ -41,7 +47,8 @@ simulate(const exec::CompiledCircuit& compiled, const StateVector& initial)
 Matrix
 circuit_unitary(const Circuit& circuit)
 {
-    return circuit_unitary(exec::CompiledCircuit(circuit));
+    return circuit_unitary(
+        exec::CompiledCircuit(circuit, exec::FusionOptions{}));
 }
 
 Matrix

@@ -30,12 +30,13 @@ qubit_subspace_inputs(const WireDims& dims)
 }
 
 /** Output states for the given basis inputs, packed as matrix columns.
- *  Compiles the circuit once and reuses the plans for every input. */
+ *  Compiles the circuit once (fusion on: equivalence probing amortises
+ *  the fused compilation across every input) and reuses the plans. */
 Matrix
 transfer_matrix(const Circuit& c,
                 const std::vector<std::vector<int>>& inputs)
 {
-    const exec::CompiledCircuit compiled(c);
+    const exec::CompiledCircuit compiled(c, exec::FusionOptions{});
     exec::ExecScratch scratch;
     Matrix t(static_cast<std::size_t>(c.dims().size()), inputs.size());
     for (std::size_t col = 0; col < inputs.size(); ++col) {

@@ -298,5 +298,80 @@ TEST(DensityMatrix, TrajectoryConvergesToCompiledExactDepolarizing) {
     EXPECT_NEAR(mean, exact, 0.01);
 }
 
+TEST(DensityMatrix, FusedFidelityMatchesUnfused) {
+    // Gate errors on two-qutrit ops only: the superoperator path fuses
+    // the single-qutrit runs between channels into one conjugation pass;
+    // the exact fidelity must be unchanged (error channels fence the
+    // partition, so placement is identical).
+    Circuit c(WireDims::uniform(2, 3));
+    c.append(gates::Z3(), {0});
+    c.append(gates::H3(), {0});
+    c.append(gates::Xplus1().controlled(3, 1), {0, 1});
+    c.append(gates::Z3(), {1});
+    c.append(gates::X12(), {1});
+    c.append(gates::Xminus1().controlled(3, 2), {1, 0});
+    c.append(gates::H3(), {1});
+    NoiseModel m;
+    m.name = "2q-errors";
+    m.dt_1q = 100e-9;
+    m.dt_2q = 300e-9;
+    m.p2 = 4e-3;
+    Rng rng(310);
+    const StateVector init = haar_random_state(c.dims(), rng);
+    exec::FusionOptions off;
+    off.enabled = false;
+    const Real fused = density_matrix_fidelity(c, m, init);
+    const Real unfused = density_matrix_fidelity(c, m, init, off);
+    EXPECT_NEAR(fused, unfused, 1e-10);
+}
+
+TEST(DensityMatrix, SuperopKernelsMatchStateConjugationAtParallelScale) {
+    // 3^6 register: the size where the superoperator outer passes go
+    // parallel under OpenMP. On a pure state, K rho K^dagger must equal
+    // the outer product of K|psi> — checked for every kernel routing
+    // (dense, diagonal, monomial, controlled), serial or parallel.
+    const WireDims dims = WireDims::uniform(6, 3);
+    Rng rng(311);
+    const StateVector psi0 = haar_random_state(dims, rng);
+    struct Case {
+        Gate gate;
+        std::vector<int> wires;
+        SuperOpKind kind;
+    };
+    const std::vector<Case> cases = {
+        {Gate("rand", {3, 3}, random_matrix(9, rng)),
+         {1, 4},
+         SuperOpKind::kDense},
+        {gates::Z3(), {2}, SuperOpKind::kDiagonal},
+        {Gate("ZxX", {3, 3},
+              gates::Z3().matrix().kron(gates::Xplus1().matrix())),
+         {0, 5},
+         SuperOpKind::kMonomial},
+        {gates::fourier(3).controlled(3, 2), {3, 1},
+         SuperOpKind::kControlled},
+    };
+    for (const Case& tc : cases) {
+        DensityMatrix dm(psi0);
+        const auto sop = exec::compile_superop(dims, tc.gate, tc.wires,
+                                               &dm.plan_cache());
+        ASSERT_EQ(sop.kind, tc.kind) << tc.gate.name();
+        dm.apply(sop);
+        StateVector psi = psi0;
+        psi.apply(tc.gate.matrix(), tc.wires);
+        // Spot-check rows of the outer product (full D^2 compare is slow).
+        const Index D = dims.size();
+        for (Index r = 0; r < D; r += 97) {
+            for (Index col = 0; col < D; col += 89) {
+                EXPECT_NEAR(
+                    std::abs(dm.rho()(static_cast<std::size_t>(r),
+                                      static_cast<std::size_t>(col)) -
+                             psi[r] * std::conj(psi[col])),
+                    0.0, 1e-10)
+                    << tc.gate.name() << " at (" << r << ", " << col << ")";
+            }
+        }
+    }
+}
+
 }  // namespace
 }  // namespace qd::noise

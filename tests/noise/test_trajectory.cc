@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include "noise/density_matrix.h"
+#include "noise/error_placement.h"
 #include "noise/models.h"
+#include "qdsim/exec/compiled_circuit.h"
 #include "qdsim/gate_library.h"
 #include "qdsim/random_state.h"
 #include "qdsim/simulator.h"
@@ -455,6 +457,92 @@ TEST(Trajectory, TotalConventionScalesErrors) {
     const Real fp =
         run_noisy_trials(c3, per_channel, opts).mean_fidelity;
     EXPECT_NEAR(ft, fp, 0.001);  // identical draws given the same seed
+}
+
+/** Circuit with single-qutrit runs between two-qutrit gates — fusable
+ *  material when only the two-qutrit ops carry error channels. */
+Circuit
+fusable_qutrit_circuit()
+{
+    Circuit c(WireDims::uniform(2, 3));
+    c.append(gates::Z3(), {0});
+    c.append(gates::Xplus1(), {0});
+    c.append(gates::Xplus1().controlled(3, 1), {0, 1});
+    c.append(gates::Z3(), {1});
+    c.append(gates::X12(), {1});
+    c.append(gates::H3(), {0});
+    c.append(gates::H3(), {0});
+    c.append(gates::Xminus1().controlled(3, 1), {1, 0});
+    c.append(gates::Z3(), {0});
+    c.append(gates::Xplus1(), {1});
+    return c;
+}
+
+TEST(Trajectory, FusionPreservesErrorPlacementOnGateErrorModels) {
+    // Gate errors on two-qutrit ops only: the single-qutrit runs between
+    // them fuse, while every error-carrying op is a fence — the channel
+    // stays attached to its pre-fusion boundary, so the fused engine
+    // consumes the identical RNG stream and per-trial fidelities differ
+    // from the unfused engine only by fusion's float reassociation.
+    const Circuit c = fusable_qutrit_circuit();
+    NoiseModel m = noiseless();
+    m.p2 = 5e-3;
+
+    // The engine's own fence construction must actually fuse something
+    // here (same placement policy: enumerate_error_sites + error_fences).
+    const exec::CompiledCircuit fused_compiled(
+        c, exec::FusionOptions{}, error_fences(enumerate_error_sites(c, m)));
+    ASSERT_LT(fused_compiled.num_ops(), c.num_ops());
+
+    TrajectoryOptions fused;
+    fused.trials = 60;
+    fused.seed = 11;
+    fused.keep_per_trial = true;
+    TrajectoryOptions unfused = fused;
+    unfused.fusion.enabled = false;
+    const auto a = run_noisy_trials(c, m, fused);
+    const auto b = run_noisy_trials(c, m, unfused);
+    ASSERT_EQ(a.per_trial.size(), b.per_trial.size());
+    for (std::size_t t = 0; t < a.per_trial.size(); ++t) {
+        EXPECT_NEAR(a.per_trial[t], b.per_trial[t], 1e-9) << "trial " << t;
+    }
+}
+
+TEST(Trajectory, FusionBitwiseOnPermutationOnlyCircuits) {
+    // Permutation fusion is pure index composition, so even the fused
+    // ideal pass is bitwise identical to the unfused one: per-trial
+    // fidelities must match EXACTLY with errors on every op.
+    Circuit c(WireDims::uniform(2, 3));
+    c.append(gates::Xplus1(), {0});
+    c.append(gates::X01(), {0});
+    c.append(gates::Xplus1().controlled(3, 1), {0, 1});
+    c.append(gates::X12(), {1});
+    c.append(gates::Xminus1().controlled(3, 2), {1, 0});
+    c.append(gates::X02(), {1});
+    NoiseModel m = noiseless();
+    m.p1 = 5e-3;
+    m.p2 = 5e-3;
+    TrajectoryOptions fused;
+    fused.trials = 40;
+    fused.seed = 5;
+    fused.keep_per_trial = true;
+    TrajectoryOptions unfused = fused;
+    unfused.fusion.enabled = false;
+    const auto a = run_noisy_trials(c, m, fused);
+    const auto b = run_noisy_trials(c, m, unfused);
+    ASSERT_EQ(a.per_trial.size(), b.per_trial.size());
+    for (std::size_t t = 0; t < a.per_trial.size(); ++t) {
+        ASSERT_EQ(a.per_trial[t], b.per_trial[t]) << "trial " << t;
+    }
+}
+
+TEST(Trajectory, BatchInvarianceSurvivesFusion) {
+    // The fused noisy loop (gate errors only, no idle noise) must stay
+    // bitwise independent of batch width and thread count.
+    const Circuit c = fusable_qutrit_circuit();
+    NoiseModel m = noiseless();
+    m.p2 = 5e-3;
+    expect_batch_invariant(c, m, 25);
 }
 
 TEST(Trajectory, PerChannelConventionPenalisesQutrits) {

@@ -103,6 +103,13 @@ TEST(Batched, EveryKernelKindMatchesSingleShotBitwise) {
                                  {1, 3}, 5, rng, KernelKind::kPermutation);
     check_batched_matches_single(q3, gates::Z3(), {2}, 5, rng,
                                  KernelKind::kDiagonal);
+    // Monomial: generalized permutation with phases (Z ⊗ X+1 product,
+    // the shape of X^j Z^k error terms and phase∘permutation fusions).
+    check_batched_matches_single(
+        q3,
+        Gate("Z3xX+1", {3, 3},
+             gates::Z3().matrix().kron(gates::Xplus1().matrix())),
+        {1, 3}, 5, rng, KernelKind::kMonomial);
     check_batched_matches_single(q3, gates::H3(), {1}, 5, rng,
                                  KernelKind::kSingleWireD3);
     check_batched_matches_single(q3, gates::fourier(3).controlled(3, 2),
