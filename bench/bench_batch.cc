@@ -46,7 +46,7 @@ now_ms()
 }  // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
     bench::banner("bench_batch: B-way batched trajectories vs per-shot",
                   "Section 7 Monte-Carlo reliability workload; 5-qutrit "
@@ -114,30 +114,31 @@ main()
                 lane_equivalent ? "bitwise identical" : "MISMATCH",
                 batched.mean_fidelity);
 
-    std::FILE* out = std::fopen("BENCH_batch.json", "w");
-    if (out != nullptr) {
-        std::fprintf(
-            out,
-            "{\n"
-            "  \"workload\": \"qutrit_gen_toffoli_sc_noise\",\n"
-            "  \"n_controls\": %d,\n"
-            "  \"trials\": %d,\n"
-            "  \"lanes\": %d,\n"
-            "  \"per_shot_ms\": %.3f,\n"
-            "  \"batched_ms\": %.3f,\n"
-            "  \"per_shot_shots_per_sec\": %.2f,\n"
-            "  \"batched_shots_per_sec\": %.2f,\n"
-            "  \"speedup\": %.4f,\n"
-            "  \"lane_equivalent\": %s,\n"
-            "  \"mean_fidelity\": %.6f\n"
-            "}\n",
-            n_controls, trials, lanes, single_ms, batched_ms,
-            1000.0 * trials / single_ms, 1000.0 * trials / batched_ms,
-            speedup, lane_equivalent ? "true" : "false",
-            batched.mean_fidelity);
-        std::fclose(out);
-        std::printf("wrote BENCH_batch.json\n");
-    }
+    // Instrumented section: a small batched run with counters on
+    // (trajectory divergence events, batched kernel classes) and optional
+    // --trace spans.
+    bench::ObsSection obs_section(bench::trace_flag(argc, argv));
+    options.batch = lanes;
+    options.trials = std::min(trials, 4 * lanes);
+    noise::run_noisy_trials(circuit, model, options);
+    options.trials = trials;
+    const obs::SimReport rep = obs_section.finish();
+    std::printf("\n%s\n", rep.to_string().c_str());
+
+    bench::JsonWriter jw;
+    jw.str("workload", "qutrit_gen_toffoli_sc_noise")
+        .integer("n_controls", n_controls)
+        .integer("trials", trials)
+        .integer("lanes", lanes)
+        .num("per_shot_ms", single_ms, "%.3f")
+        .num("batched_ms", batched_ms, "%.3f")
+        .num("per_shot_shots_per_sec", 1000.0 * trials / single_ms, "%.2f")
+        .num("batched_shots_per_sec", 1000.0 * trials / batched_ms, "%.2f")
+        .num("speedup", speedup, "%.4f")
+        .boolean("lane_equivalent", lane_equivalent)
+        .num("mean_fidelity", batched.mean_fidelity)
+        .report(rep);
+    jw.write("BENCH_batch.json");
     if (!lane_equivalent) {
         std::fprintf(stderr,
                      "bench_batch: batched and per-shot trajectories "

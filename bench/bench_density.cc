@@ -98,7 +98,7 @@ dense_reference_fidelity(const Circuit& circuit,
 }  // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
     bench::banner("bench_density: compiled superoperators vs dense expand()",
                   "Section 6.2 exact reference; 3-qutrit depolarizing "
@@ -149,25 +149,25 @@ main()
                 speedup >= 5.0 ? "(>= 5x target met)"
                                : "(below 5x target)");
 
-    std::FILE* out = std::fopen("BENCH_density.json", "w");
-    if (out != nullptr) {
-        std::fprintf(out,
-                     "{\n"
-                     "  \"workload\": \"qutrit_layered_depolarizing\",\n"
-                     "  \"wires\": %d,\n"
-                     "  \"layers\": %d,\n"
-                     "  \"reps\": %d,\n"
-                     "  \"dense_ms_per_pass\": %.6f,\n"
-                     "  \"compiled_ms_per_pass\": %.6f,\n"
-                     "  \"speedup\": %.4f,\n"
-                     "  \"dense_fidelity\": %.12f,\n"
-                     "  \"compiled_fidelity\": %.12f,\n"
-                     "  \"fidelity_abs_diff\": %.3e\n"
-                     "}\n",
-                     wires, layers, reps, dense_ms, compiled_ms, speedup,
-                     dense_fid, compiled_fid, diff);
-        std::fclose(out);
-        std::printf("wrote BENCH_density.json\n");
-    }
+    // Instrumented section: one compiled pass with counters on (superop
+    // conjugation classes, plan-cache traffic) and optional --trace spans.
+    bench::ObsSection obs_section(bench::trace_flag(argc, argv));
+    noise::density_matrix_fidelity(circuit, model, init);
+    const obs::SimReport rep = obs_section.finish();
+    std::printf("\n%s\n", rep.to_string().c_str());
+
+    bench::JsonWriter jw;
+    jw.str("workload", "qutrit_layered_depolarizing")
+        .integer("wires", wires)
+        .integer("layers", layers)
+        .integer("reps", reps)
+        .num("dense_ms_per_pass", dense_ms)
+        .num("compiled_ms_per_pass", compiled_ms)
+        .num("speedup", speedup, "%.4f")
+        .num("dense_fidelity", dense_fid, "%.12f")
+        .num("compiled_fidelity", compiled_fid, "%.12f")
+        .num("fidelity_abs_diff", diff, "%.3e")
+        .report(rep);
+    jw.write("BENCH_density.json");
     return diff < 1e-10 ? 0 : 1;
 }

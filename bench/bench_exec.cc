@@ -12,6 +12,13 @@
  *
  * Knobs: QD_EXEC_CONTROLS (default 9), QD_EXEC_REPS (default 20),
  * QD_EXEC_TRIALS (default 200).
+ *
+ * `--trace <file>` additionally dumps Chrome trace-event JSON for the
+ * instrumented section (load in chrome://tracing or Perfetto). The timed
+ * sections always run with observability at its ambient default; the
+ * instrumented section at the end re-runs a deterministic fused
+ * compile + single pass with counters on, and its obs_* metrics land in
+ * BENCH_exec.json (plan-cache and fusion counts there are gated in CI).
  */
 #include <chrono>
 #include <cstdio>
@@ -38,7 +45,7 @@ now_ms()
 }  // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
     bench::banner("bench_exec: compiled kernels vs generic apply",
                   "Section 6.2 simulator hot path; qutrit Generalized "
@@ -105,31 +112,37 @@ main()
                 trials, traj_ms, shots_per_sec, result.mean_fidelity,
                 result.two_sigma());
 
-    std::FILE* out = std::fopen("BENCH_exec.json", "w");
-    if (out != nullptr) {
-        std::fprintf(
-            out,
-            "{\n"
-            "  \"workload\": \"qutrit_gen_toffoli\",\n"
-            "  \"n_controls\": %d,\n"
-            "  \"reps\": %d,\n"
-            "  \"generic_ms_per_pass\": %.6f,\n"
-            "  \"compiled_ms_per_pass\": %.6f,\n"
-            "  \"compile_ms\": %.6f,\n"
-            "  \"speedup\": %.4f,\n"
-            "  \"kernel_counts\": {\"permutation\": %zu, \"diagonal\": %zu,"
-            " \"monomial\": %zu, \"single_wire\": %zu, \"controlled\": %zu,"
-            " \"dense\": %zu},\n"
-            "  \"noisy_trials\": %d,\n"
-            "  \"noisy_shots_per_sec\": %.2f,\n"
-            "  \"mean_fidelity\": %.6f\n"
-            "}\n",
-            n_controls, reps, generic_ms, compiled_ms, compile_ms, speedup,
-            kc.permutation, kc.diagonal, kc.monomial, kc.single_wire,
-            kc.controlled, kc.dense, trials, shots_per_sec,
-            result.mean_fidelity);
-        std::fclose(out);
-        std::printf("wrote BENCH_exec.json\n");
-    }
+    // 4. Instrumented section: deterministic fused compile + one pass with
+    // counters on (and span buffering when --trace was given). Every
+    // metric below depends only on the circuit — not on reps/trials — so
+    // CI can gate the counter values exactly.
+    bench::ObsSection obs_section(bench::trace_flag(argc, argv));
+    const exec::CompiledCircuit fused(circuit, exec::FusionOptions{});
+    StateVector probe = init;
+    fused.run(probe, scratch);
+    const obs::SimReport rep = obs_section.finish();
+    std::printf("\n%s\n", rep.to_string().c_str());
+
+    char kc_json[160];
+    std::snprintf(kc_json, sizeof(kc_json),
+                  "{\"permutation\": %zu, \"diagonal\": %zu, \"monomial\": "
+                  "%zu, \"single_wire\": %zu, \"controlled\": %zu, "
+                  "\"dense\": %zu}",
+                  kc.permutation, kc.diagonal, kc.monomial, kc.single_wire,
+                  kc.controlled, kc.dense);
+    bench::JsonWriter jw;
+    jw.str("workload", "qutrit_gen_toffoli")
+        .integer("n_controls", n_controls)
+        .integer("reps", reps)
+        .num("generic_ms_per_pass", generic_ms)
+        .num("compiled_ms_per_pass", compiled_ms)
+        .num("compile_ms", compile_ms)
+        .num("speedup", speedup, "%.4f")
+        .raw("kernel_counts", kc_json)
+        .integer("noisy_trials", trials)
+        .num("noisy_shots_per_sec", shots_per_sec, "%.2f")
+        .num("mean_fidelity", result.mean_fidelity)
+        .report(rep);
+    jw.write("BENCH_exec.json");
     return 0;
 }

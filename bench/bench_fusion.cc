@@ -120,7 +120,7 @@ report(const char* label, const Circuit& circuit, const Measurement& m)
 }  // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
     bench::banner("bench_fusion: compile-time operator fusion",
                   "fused vs unfused compiled passes; gen-Toffoli (QUBIT "
@@ -140,34 +140,42 @@ main()
     const Measurement mi = measure(inc, reps);
     report("qutrit_incrementer", inc, mi);
 
-    std::FILE* out = std::fopen("BENCH_fusion.json", "w");
-    if (out != nullptr) {
-        std::fprintf(
-            out,
-            "{\n"
-            "  \"workload\": \"gen_toffoli_qubit+qutrit_incrementer\",\n"
-            "  \"n_controls\": %d,\n"
-            "  \"inc_bits\": %d,\n"
-            "  \"reps\": %d,\n"
-            "  \"toffoli_ops_unfused\": %zu,\n"
-            "  \"toffoli_ops_fused\": %zu,\n"
-            "  \"toffoli_unfused_ms\": %.6f,\n"
-            "  \"toffoli_fused_ms\": %.6f,\n"
-            "  \"toffoli_max_dev\": %.3e,\n"
-            "  \"speedup\": %.4f,\n"
-            "  \"incrementer_ops_unfused\": %zu,\n"
-            "  \"incrementer_ops_fused\": %zu,\n"
-            "  \"incrementer_unfused_ms\": %.6f,\n"
-            "  \"incrementer_fused_ms\": %.6f,\n"
-            "  \"incrementer_max_dev\": %.3e,\n"
-            "  \"speedup_incrementer\": %.4f\n"
-            "}\n",
-            n_controls, inc_bits, reps, mt.ops_unfused, mt.ops_fused,
-            mt.unfused_ms, mt.fused_ms, mt.max_dev, mt.speedup,
-            mi.ops_unfused, mi.ops_fused, mi.unfused_ms, mi.fused_ms,
-            mi.max_dev, mi.speedup);
-        std::fclose(out);
-        std::printf("wrote BENCH_fusion.json\n");
+    // Instrumented section: a fused compile + one pass of the Toffoli
+    // workload with counters on (fusion in/out stats, cap truncations) and
+    // optional --trace spans.
+    bench::ObsSection obs_section(bench::trace_flag(argc, argv));
+    {
+        const exec::CompiledCircuit fused(toff.circuit,
+                                          exec::FusionOptions{});
+        Rng rng(2019);
+        StateVector probe = haar_random_state(toff.circuit.dims(), rng);
+        exec::ExecScratch scratch;
+        fused.run(probe, scratch);
     }
+    const obs::SimReport rep = obs_section.finish();
+    std::printf("\n%s\n", rep.to_string().c_str());
+
+    bench::JsonWriter jw;
+    jw.str("workload", "gen_toffoli_qubit+qutrit_incrementer")
+        .integer("n_controls", n_controls)
+        .integer("inc_bits", inc_bits)
+        .integer("reps", reps)
+        .integer("toffoli_ops_unfused",
+                 static_cast<long long>(mt.ops_unfused))
+        .integer("toffoli_ops_fused", static_cast<long long>(mt.ops_fused))
+        .num("toffoli_unfused_ms", mt.unfused_ms)
+        .num("toffoli_fused_ms", mt.fused_ms)
+        .num("toffoli_max_dev", mt.max_dev, "%.3e")
+        .num("speedup", mt.speedup, "%.4f")
+        .integer("incrementer_ops_unfused",
+                 static_cast<long long>(mi.ops_unfused))
+        .integer("incrementer_ops_fused",
+                 static_cast<long long>(mi.ops_fused))
+        .num("incrementer_unfused_ms", mi.unfused_ms)
+        .num("incrementer_fused_ms", mi.fused_ms)
+        .num("incrementer_max_dev", mi.max_dev, "%.3e")
+        .num("speedup_incrementer", mi.speedup, "%.4f")
+        .report(rep);
+    jw.write("BENCH_fusion.json");
     return 0;
 }

@@ -4,18 +4,34 @@
 Usage: compare_bench.py [--tolerance FRAC] [--results DIR] [--baselines DIR]
        compare_bench.py --self-test
 
-Only machine-independent throughput ratios are compared (the "speedup"
-of a compiled path over its reference path measured in the SAME run on
-the SAME machine); raw millisecond numbers vary with the runner and are
-uploaded as artifacts but never gated on. The check fails (exit 1) when
-a tracked metric falls more than --tolerance (default 25%) below its
-baseline — i.e. the compiled fast path lost ground against the
-reference implementation.
+Three metric modes, chosen per tracked metric:
+
+  min    higher-is-better ratio (the default): fails when the result
+         falls more than --tolerance (default 25%) below its baseline —
+         i.e. the compiled fast path lost ground against the reference
+         implementation. Only machine-independent throughput ratios are
+         gated this way (a "speedup" of a compiled path over its
+         reference measured in the SAME run on the SAME machine); raw
+         millisecond numbers vary with the runner and are uploaded as
+         artifacts but never gated on.
+  exact  deterministic counter (plan-cache traffic, fused block counts
+         from the obs instrumentation layer): fails on ANY numeric
+         difference from the baseline. These counters are
+         thread-count- and machine-invariant by construction, so a
+         drift means the engine's behaviour changed, not the runner.
+  max    lower-is-better quantity: fails when the result exceeds the
+         baseline by more than --tolerance.
+
+Every loaded file is schema-checked first: the top level must be a JSON
+object and every tracked metric must be a plain number (booleans are
+rejected — JSON true/false silently coerce to 1/0 in Python and would
+gate on garbage).
 
 --self-test exercises the script's own failure paths (truncated JSON,
-zero metrics compared, below-floor regression, and the passing case)
-against generated fixture files, so a broken gate fails CI in seconds
-instead of silently passing after a 20-minute build.
+schema violations, zero metrics compared, below-floor / not-exact /
+above-ceiling regressions, and the passing cases) against generated
+fixture files, so a broken gate fails CI in seconds instead of silently
+passing after a 20-minute build.
 """
 
 import argparse
@@ -24,26 +40,99 @@ import os
 import sys
 import tempfile
 
-# file -> list of higher-is-better ratio metrics to gate on. One entry
-# per benchmarked engine: compiled state-vector (exec), density-matrix
-# superoperators, batched trajectory lanes, and compile-time fusion.
+# file -> list of metrics to gate on. A bare string means mode "min";
+# a {"metric": ..., "mode": ...} dict selects "min", "exact" or "max".
+# One speedup entry per benchmarked engine: compiled state-vector
+# (exec), density-matrix superoperators, batched trajectory lanes, and
+# compile-time fusion. The obs_* entries gate the instrumentation
+# layer's deterministic counters from bench_exec's instrumented section
+# (fused compile + one pass of the default workload).
 TRACKED = {
-    "BENCH_exec.json": ["speedup"],
+    "BENCH_exec.json": [
+        "speedup",
+        {"metric": "obs_plan_cache_hits", "mode": "exact"},
+        {"metric": "obs_plan_cache_misses", "mode": "exact"},
+        {"metric": "obs_fusion_blocks_out", "mode": "exact"},
+        {"metric": "obs_cache_hit_rate", "mode": "min"},
+    ],
     "BENCH_density.json": ["speedup"],
     "BENCH_batch.json": ["speedup"],
     "BENCH_fusion.json": ["speedup", "speedup_incrementer"],
 }
 
+MODES = ("min", "exact", "max")
+
+
+def normalize_spec(spec):
+    """Returns (metric_name, mode) from a bare string or a dict spec."""
+    if isinstance(spec, str):
+        return spec, "min"
+    metric = spec["metric"]
+    mode = spec.get("mode", "min")
+    if mode not in MODES:
+        raise ValueError(f"unknown metric mode {mode!r} for {metric}")
+    return metric, mode
+
 
 def load_json(path, failures):
     """Parses a result/baseline file, recording a clear failure (instead of
-    an uncaught traceback) when the file is truncated or malformed."""
+    an uncaught traceback) when the file is truncated or malformed, and
+    validating the schema: the top level must be a JSON object."""
     try:
         with open(path) as f:
-            return json.load(f)
+            data = json.load(f)
     except json.JSONDecodeError as err:
         failures.append(f"{path}: invalid or truncated JSON ({err})")
         return None
+    if not isinstance(data, dict):
+        failures.append(f"{path}: schema violation — top level must be a "
+                        f"JSON object, got {type(data).__name__}")
+        return None
+    return data
+
+
+def numeric(data, path, metric, failures):
+    """Extracts a tracked metric as a float, recording a schema failure
+    for non-numeric values (bool included: JSON true/false would
+    otherwise coerce to 1.0/0.0 and gate on garbage)."""
+    value = data[metric]
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        failures.append(f"{path}:{metric}: schema violation — expected a "
+                        f"number, got {value!r}")
+        return None
+    return float(value)
+
+
+def check_metric(name, metric, mode, base, got, tolerance, failures, out):
+    """Applies one mode's pass criterion and logs/records the outcome."""
+    if mode == "min":
+        floor = base * (1.0 - tolerance)
+        ok = got >= floor
+        bound = f"floor {floor:.3f}"
+        if not ok:
+            failures.append(
+                f"{name}:{metric} regressed to {got:.3f}; baseline "
+                f"{base:.3f} allows no less than {floor:.3f}")
+    elif mode == "max":
+        ceiling = base * (1.0 + tolerance)
+        ok = got <= ceiling
+        bound = f"ceiling {ceiling:.3f}"
+        if not ok:
+            failures.append(
+                f"{name}:{metric} grew to {got:.3f}; baseline "
+                f"{base:.3f} allows no more than {ceiling:.3f}")
+    else:  # exact
+        ok = got == base
+        bound = "exact"
+        if not ok:
+            failures.append(
+                f"{name}:{metric} is {got:g}; baseline requires exactly "
+                f"{base:g} (deterministic counter drifted — either the "
+                f"engine changed or the baseline needs a deliberate "
+                f"update)")
+    status = "ok" if ok else "REGRESSION"
+    print(f"[{status}] {name}:{metric} ({mode}): {got:.3f} "
+          f"(baseline {base:.3f}, {bound})", file=out)
 
 
 def compare(results_dir, baselines_dir, tolerance, tracked=None,
@@ -52,7 +141,7 @@ def compare(results_dir, baselines_dir, tolerance, tracked=None,
     tracked = TRACKED if tracked is None else tracked
     failures = []
     checked = 0
-    for name, metrics in sorted(tracked.items()):
+    for name, specs in sorted(tracked.items()):
         result_path = os.path.join(results_dir, name)
         baseline_path = os.path.join(baselines_dir, name)
         if not os.path.exists(baseline_path):
@@ -66,24 +155,21 @@ def compare(results_dir, baselines_dir, tolerance, tracked=None,
         baseline = load_json(baseline_path, failures)
         if result is None or baseline is None:
             continue
-        for metric in metrics:
+        for spec in specs:
+            metric, mode = normalize_spec(spec)
             if metric not in baseline:
                 print(f"[skip] {name}:{metric}: not in baseline", file=out)
                 continue
             if metric not in result:
                 failures.append(f"{name}:{metric}: missing from result")
                 continue
-            base = float(baseline[metric])
-            got = float(result[metric])
-            floor = base * (1.0 - tolerance)
-            status = "ok" if got >= floor else "REGRESSION"
-            print(f"[{status}] {name}:{metric}: {got:.3f} "
-                  f"(baseline {base:.3f}, floor {floor:.3f})", file=out)
+            base = numeric(baseline, baseline_path, metric, failures)
+            got = numeric(result, result_path, metric, failures)
+            if base is None or got is None:
+                continue
+            check_metric(name, metric, mode, base, got, tolerance,
+                         failures, out)
             checked += 1
-            if got < floor:
-                failures.append(
-                    f"{name}:{metric} regressed to {got:.3f}; baseline "
-                    f"{base:.3f} allows no less than {floor:.3f}")
 
     if failures:
         print("\nbenchmark regression check FAILED:", file=err)
@@ -107,10 +193,15 @@ def compare(results_dir, baselines_dir, tolerance, tracked=None,
 def self_test():
     """Exercises the gate's failure paths with fixture files. Returns 0
     when every scenario behaves as specified."""
-    tracked = {"BENCH_fixture.json": ["speedup"]}
     problems = []
+    scenarios = 0
 
-    def scenario(name, expect_rc, baseline_text, result_text):
+    def scenario(name, expect_rc, baseline_text, result_text,
+                 tracked=None):
+        nonlocal scenarios
+        scenarios += 1
+        tracked = ({"BENCH_fixture.json": ["speedup"]}
+                   if tracked is None else tracked)
         with tempfile.TemporaryDirectory() as tmp:
             baselines = os.path.join(tmp, "baselines")
             results = os.path.join(tmp, "results")
@@ -136,6 +227,9 @@ def self_test():
             if rc != expect_rc:
                 problems.append(name)
 
+    exact = {"BENCH_fixture.json": [{"metric": "hits", "mode": "exact"}]}
+    ceiling = {"BENCH_fixture.json": [{"metric": "misses", "mode": "max"}]}
+
     ok = json.dumps({"speedup": 2.0})
     scenario("passing result within floor", 0, ok,
              json.dumps({"speedup": 1.9}))
@@ -147,12 +241,26 @@ def self_test():
     scenario("zero metrics compared fails (no baseline)", 1, None, ok)
     scenario("metric missing from result fails", 1, ok,
              json.dumps({"other": 1.0}))
+    scenario("exact match passes", 0, json.dumps({"hits": 41}),
+             json.dumps({"hits": 41}), tracked=exact)
+    scenario("exact mismatch fails", 1, json.dumps({"hits": 41}),
+             json.dumps({"hits": 40}), tracked=exact)
+    scenario("max within ceiling passes", 0, json.dumps({"misses": 8.0}),
+             json.dumps({"misses": 9.0}), tracked=ceiling)
+    scenario("max above ceiling fails", 1, json.dumps({"misses": 8.0}),
+             json.dumps({"misses": 11.0}), tracked=ceiling)
+    scenario("top-level array fails schema", 1, ok,
+             json.dumps([{"speedup": 2.0}]))
+    scenario("boolean metric fails schema", 1, ok,
+             json.dumps({"speedup": True}))
+    scenario("string metric fails schema", 1, ok,
+             json.dumps({"speedup": "2.0"}))
 
     if problems:
         print(f"\nself-test FAILED: {', '.join(problems)}",
               file=sys.stderr)
         return 1
-    print("\nself-test passed (7 scenarios)")
+    print(f"\nself-test passed ({scenarios} scenarios)")
     return 0
 
 

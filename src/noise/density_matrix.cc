@@ -9,6 +9,7 @@
 #include "noise/channels.h"
 #include "noise/error_placement.h"
 #include "qdsim/moments.h"
+#include "qdsim/obs/trace.h"
 #include "qdsim/simulator.h"
 
 namespace qd::noise {
@@ -211,27 +212,32 @@ density_matrix_fidelity(const Circuit& circuit, const NoiseModel& model,
         channel_memo;
     std::vector<std::vector<const CompiledChannel*>> op_channels(
         circuit.num_ops());
-    for (std::size_t i = 0; i < sites.size(); ++i) {
-        for (const ErrorSite& site : sites[i]) {
-            const auto key = std::make_pair(site.wires, site.per_channel);
-            auto it = channel_memo.find(key);
-            if (it == channel_memo.end()) {
-                const MixedUnitaryChannel ch =
-                    site.dims.size() == 1
-                        ? depolarizing1(site.dims[0], site.per_channel)
-                        : depolarizing2(site.dims[0], site.dims[1],
-                                        site.per_channel);
-                std::size_t block = 1;
-                for (const int d : site.dims) {
-                    block *= static_cast<std::size_t>(d);
+    {
+        obs::ScopedSpan compile_span("density", "compile_channels");
+        for (std::size_t i = 0; i < sites.size(); ++i) {
+            for (const ErrorSite& site : sites[i]) {
+                const auto key =
+                    std::make_pair(site.wires, site.per_channel);
+                auto it = channel_memo.find(key);
+                if (it == channel_memo.end()) {
+                    const MixedUnitaryChannel ch =
+                        site.dims.size() == 1
+                            ? depolarizing1(site.dims[0], site.per_channel)
+                            : depolarizing2(site.dims[0], site.dims[1],
+                                            site.per_channel);
+                    std::size_t block = 1;
+                    for (const int d : site.dims) {
+                        block *= static_cast<std::size_t>(d);
+                    }
+                    it = channel_memo
+                             .emplace(key,
+                                      compile_channel(dims,
+                                                      ch.to_kraus(block),
+                                                      site.wires, &cache))
+                             .first;
                 }
-                it = channel_memo
-                         .emplace(key, compile_channel(dims,
-                                                       ch.to_kraus(block),
-                                                       site.wires, &cache))
-                         .first;
+                op_channels[i].push_back(&it->second);
             }
-            op_channels[i].push_back(&it->second);
         }
     }
 
@@ -242,6 +248,7 @@ density_matrix_fidelity(const Circuit& circuit, const NoiseModel& model,
     // trajectory engine).
     const bool idle_noise = model.has_damping() || model.has_dephasing();
     if (fusion.enabled && !idle_noise) {
+        obs::ScopedSpan exec_span("density", "execute_fused");
         const auto groups = exec::fuse_sites(dims, circuit.ops(),
                                              error_fences(sites), fusion);
         for (const exec::FusedGroup& group : groups) {
@@ -310,7 +317,10 @@ density_matrix_fidelity(const Circuit& circuit, const NoiseModel& model,
     };
 
     const auto moments = schedule_asap(circuit);
+    obs::ScopedSpan exec_span("density", "execute");
     for (const Moment& moment : moments) {
+        obs::ScopedSpan mspan("density", "moment");
+        mspan.arg("ops", static_cast<std::int64_t>(moment.op_indices.size()));
         for (const std::size_t idx : moment.op_indices) {
             dm.apply(gate_ops[idx]);
             for (const CompiledChannel* ch : op_channels[idx]) {

@@ -14,6 +14,8 @@
 #include "qdsim/exec/batched_state.h"
 #include "qdsim/exec/compiled_circuit.h"
 #include "qdsim/moments.h"
+#include "qdsim/obs/counters.h"
+#include "qdsim/obs/trace.h"
 #include "qdsim/random_state.h"
 #include "qdsim/simulator.h"
 
@@ -205,10 +207,12 @@ apply_gate_error(StateVector& psi,
                  const std::vector<const ErrorDraw*>& draws, Rng& rng,
                  exec::ExecScratch& scratch)
 {
+    obs::count(obs::Counter::kTrajGateErrorDraws, draws.size());
     for (const ErrorDraw* e : draws) {
         if (rng.uniform() >= e->total) {
             continue;  // no error
         }
+        obs::count(obs::Counter::kTrajGateErrorsFired);
         const std::size_t pick = static_cast<std::size_t>(
             rng.uniform_int(e->unitaries.size()));
         exec::apply_op(e->unitaries[pick], psi, scratch);
@@ -222,6 +226,7 @@ apply_gate_error(StateVector& psi,
 void
 apply_jump(StateVector& psi, int wire, int level)
 {
+    obs::count(obs::Counter::kTrajDampingJumps);
     const int d = psi.dims().dim(wire);
     Matrix km(static_cast<std::size_t>(d), static_cast<std::size_t>(d));
     km(0, static_cast<std::size_t>(level)) = Complex(1, 0);
@@ -341,6 +346,7 @@ fused_rare_branch(StateVector& psi, const NoiseModel& model, Real dt,
                   const std::vector<Real>& scale,
                   const std::vector<Real>& inv)
 {
+    obs::count(obs::Counter::kTrajRareBranches);
     psi.scale_by_table(ctx.count_key, inv);
     std::vector<Real> weights;
     std::vector<std::pair<int, int>> arms;  // (wire, level)
@@ -432,8 +438,11 @@ run_trajectory_with_context(const NoiseModel& model,
                             const StateVector& ideal_out, Rng& rng,
                             exec::ExecScratch& scratch)
 {
+    obs::count(obs::Counter::kTrajShots);
     StateVector psi = initial;
     for (const Moment& moment : ctx.moments) {
+        obs::ScopedSpan span("traj", "moment");
+        span.arg("ops", static_cast<std::int64_t>(moment.op_indices.size()));
         for (const std::size_t idx : moment.op_indices) {
             exec::apply_op(ctx.noisy.ops()[idx], psi, scratch);
             apply_gate_error(psi, ctx.errors[idx], rng, scratch);
@@ -471,11 +480,17 @@ apply_gate_error_batched(exec::BatchedStateVector& psi,
                          exec::ExecScratch& scratch)
 {
     const int lanes = psi.lanes();
+    // One draw per (error site, lane) — the same lotteries an unbatched
+    // shot would test, so the draw totals are batch-width invariant.
+    obs::count(obs::Counter::kTrajGateErrorDraws,
+               draws.size() * static_cast<std::uint64_t>(lanes));
     for (const ErrorDraw* e : draws) {
         for (int j = 0; j < lanes; ++j) {
             if (rngs[static_cast<std::size_t>(j)].uniform() >= e->total) {
                 continue;  // no error on this lane
             }
+            obs::count(obs::Counter::kTrajGateErrorsFired);
+            obs::count(obs::Counter::kTrajLaneExtracts);
             const std::size_t pick = static_cast<std::size_t>(
                 rngs[static_cast<std::size_t>(j)].uniform_int(
                     e->unitaries.size()));
@@ -535,6 +550,7 @@ apply_idle_damping_fused_batched(exec::BatchedStateVector& psi,
         if (accepted[static_cast<std::size_t>(j)] != 0) {
             continue;
         }
+        obs::count(obs::Counter::kTrajLaneExtracts);
         psi.extract_lane(j, lane);
         fused_rare_branch(lane, model, dt, ctx,
                           rngs[static_cast<std::size_t>(j)], scale, inv);
@@ -582,6 +598,7 @@ apply_idle_damping_sequential_batched(exec::BatchedStateVector& psi,
                         break;
                     }
                 }
+                obs::count(obs::Counter::kTrajLaneExtracts);
                 psi.extract_lane(j, lane);
                 apply_jump(lane, w, level);
                 psi.set_lane(j, lane);
@@ -662,6 +679,14 @@ run_trajectory_batch(const NoiseModel& model, const EngineContext& ctx,
                      exec::ExecScratch& scratch)
 {
     const WireDims& dims = ctx.noisy.dims();
+    if (obs::enabled()) {
+        obs::count_unchecked(obs::Counter::kTrajShots,
+                             static_cast<std::uint64_t>(lanes));
+        obs::count_unchecked(obs::Counter::kTrajBatches);
+    }
+    obs::ScopedSpan span("traj", "shot_batch");
+    span.arg("start", start);
+    span.arg("lanes", lanes);
     std::vector<Rng> rngs;
     rngs.reserve(static_cast<std::size_t>(lanes));
     exec::BatchedStateVector psi(dims, lanes);
@@ -689,6 +714,9 @@ run_trajectory_batch(const NoiseModel& model, const EngineContext& ctx,
     StateVector lane(dims);  // reused for per-lane divergent fallbacks
     BatchNoiseScratch ds;
     for (const Moment& moment : ctx.moments) {
+        obs::ScopedSpan mspan("traj", "moment");
+        mspan.arg("ops",
+                  static_cast<std::int64_t>(moment.op_indices.size()));
         for (const std::size_t idx : moment.op_indices) {
             exec::apply_op_batched(ctx.noisy.ops()[idx], psi,
                                     bscratch);

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "qdsim/obs/counters.h"
+
 namespace qd::exec {
 
 std::vector<Index>
@@ -54,6 +56,7 @@ make_apply_plan(const WireDims& dims, std::span<const int> wires)
         }
     }
 
+    obs::count(obs::Counter::kPlanBuilds);
     auto plan = std::make_shared<ApplyPlan>();
     for (const int w : wires) {
         plan->block *= static_cast<Index>(dims.dim(w));
@@ -127,8 +130,13 @@ PlanCache::get(std::span<const int> wires, Index salt)
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = plans_.find(key);
     if (it == plans_.end()) {
+        // The plan is built under the lock, so concurrent requests for one
+        // key see exactly one miss; the rest are hits.
+        obs::count(obs::Counter::kPlanCacheMisses);
         it = plans_.emplace(std::move(key), make_apply_plan(dims_, wires))
                  .first;
+    } else {
+        obs::count(obs::Counter::kPlanCacheHits);
     }
     return it->second;
 }
@@ -140,6 +148,7 @@ PlanCache::put(std::span<const int> wires,
     if (plan == nullptr) {
         return;
     }
+    obs::count(obs::Counter::kPlanCacheInserts);
     std::lock_guard<std::mutex> lock(mutex_);
     plans_.emplace(std::make_pair(
                        std::vector<int>(wires.begin(), wires.end()), salt),

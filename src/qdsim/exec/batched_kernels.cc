@@ -401,6 +401,17 @@ apply_op_batched(const CompiledOp& op, BatchedStateVector& psi,
 {
     Complex* amps = psi.data();
     const std::size_t B = static_cast<std::size_t>(psi.lanes());
+    // Counter hook sits OUTSIDE the kernels' OpenMP regions. The class
+    // counter advances by the lane count so per-class totals across the
+    // two zoos are invariant under the batch width (each lane is bitwise
+    // one single-shot application).
+    if (obs::enabled()) {
+        obs::count_unchecked(kernel_counter(op.kind, /*batched=*/true), B);
+        obs::count_unchecked(obs::Counter::kBatDispatches);
+        obs::count_unchecked(
+            obs::Counter::kEstimatedFlops,
+            op_flop_estimate(op, psi.size()) * static_cast<std::uint64_t>(B));
+    }
     switch (op.kind) {
         case KernelKind::kPermutation:
             run_permutation_b(op, amps, B, scratch);

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "qdsim/obs/trace.h"
+
 namespace qd::exec {
 
 void
@@ -22,6 +24,8 @@ CompiledCircuit::compile_plain(const Circuit& circuit, PlanCache& cache)
 CompiledCircuit::CompiledCircuit(const Circuit& circuit)
     : dims_(circuit.dims())
 {
+    obs::ScopedSpan span("exec", "compile_circuit");
+    span.arg("ops", static_cast<std::int64_t>(circuit.num_ops()));
     PlanCache cache(dims_);
     compile_plain(circuit, cache);
 }
@@ -32,6 +36,8 @@ CompiledCircuit::CompiledCircuit(const Circuit& circuit,
                                  PlanCache* cache)
     : dims_(circuit.dims())
 {
+    obs::ScopedSpan span("exec", "compile_circuit_fused");
+    span.arg("ops", static_cast<std::int64_t>(circuit.num_ops()));
     PlanCache local(dims_);
     PlanCache& use = cache != nullptr ? *cache : local;
     if (!options.enabled) {
@@ -70,6 +76,7 @@ CompiledCircuit::CompiledCircuit(const Circuit& circuit,
         ops_.back().source_ops = group.members;
         num_source_ops_ += group.members.size();
     }
+    span.arg("blocks", static_cast<std::int64_t>(ops_.size()));
 }
 
 void
@@ -79,6 +86,8 @@ CompiledCircuit::run(StateVector& psi, ExecScratch& scratch) const
         throw std::invalid_argument(
             "CompiledCircuit::run: state dims mismatch");
     }
+    obs::ScopedSpan span("exec", "run_circuit");
+    span.arg("ops", static_cast<std::int64_t>(ops_.size()));
     for (const CompiledOp& op : ops_) {
         apply_op(op, psi, scratch);
     }

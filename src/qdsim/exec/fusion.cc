@@ -158,6 +158,7 @@ try_merge_class(OpenGroup& g, FuseClass cls, const CtrlSig& sig, SetRel rel,
         return true;
     }
     if (fused_block > options.max_block) {
+        obs::count(obs::Counter::kFusionCapTruncations);
         return false;  // bounds runtime degradation AND compile cost
     }
     if (g.cls == FuseClass::kLight && cls == FuseClass::kLight) {
@@ -253,6 +254,15 @@ fuse_sites(const WireDims& dims, std::span<const Operation> ops,
     out.reserve(groups.size());
     for (OpenGroup& g : groups) {
         out.push_back(FusedGroup{std::move(g.wires), std::move(g.members)});
+    }
+    if (obs::enabled()) {
+        obs::count_unchecked(obs::Counter::kFusionOpsIn, ops.size());
+        obs::count_unchecked(obs::Counter::kFusionBlocksOut, out.size());
+        std::uint64_t fused = 0;
+        for (const FusedGroup& g : out) {
+            fused += g.members.size() > 1 ? 1 : 0;
+        }
+        obs::count_unchecked(obs::Counter::kFusionFusedGroups, fused);
     }
     return out;
 }

@@ -374,6 +374,76 @@ monomial_action(const Matrix& op, std::vector<Index>& perm,
     return true;
 }
 
+obs::Counter
+kernel_counter(KernelKind kind, bool batched) noexcept
+{
+    // Relies on the enum blocks sharing one class order (permutation,
+    // diagonal, monomial, single_wire, controlled, dense).
+    const auto base = static_cast<unsigned>(
+        batched ? obs::Counter::kBatPermutation
+                : obs::Counter::kSsPermutation);
+    unsigned cls = 5;  // dense
+    switch (kind) {
+        case KernelKind::kPermutation:
+            cls = 0;
+            break;
+        case KernelKind::kDiagonal:
+            cls = 1;
+            break;
+        case KernelKind::kMonomial:
+            cls = 2;
+            break;
+        case KernelKind::kSingleWireD2:
+        case KernelKind::kSingleWireD3:
+            cls = 3;
+            break;
+        case KernelKind::kControlled:
+            cls = 4;
+            break;
+        case KernelKind::kDense:
+            cls = 5;
+            break;
+    }
+    return static_cast<obs::Counter>(base + cls);
+}
+
+std::uint64_t
+op_flop_estimate(const CompiledOp& op, Index total) noexcept
+{
+    switch (op.kind) {
+        case KernelKind::kPermutation:
+            return 0;
+        case KernelKind::kDiagonal:
+            return total * 6;  // one complex multiply per amplitude
+        case KernelKind::kMonomial:
+            return op.plan == nullptr
+                       ? 0
+                       : op.plan->outer_count() *
+                             static_cast<std::uint64_t>(
+                                 op.cycle_offsets.size()) *
+                             6;
+        case KernelKind::kSingleWireD2:
+            return total * 2 * 8;
+        case KernelKind::kSingleWireD3:
+            return total * 3 * 8;
+        case KernelKind::kControlled: {
+            const auto nb =
+                static_cast<std::uint64_t>(op.inner_offset.size());
+            return op.plan == nullptr
+                       ? 0
+                       : op.plan->outer_count() * nb * nb * 8;
+        }
+        case KernelKind::kDense: {
+            if (op.plan == nullptr) {
+                return 0;
+            }
+            const std::uint64_t block = op.plan->block;
+            return op.plan->outer_count() * block * block * 8;
+        }
+    }
+    return 0;
+}
+
 const char*
 kernel_name(KernelKind kind)
 {
@@ -493,6 +563,13 @@ compile_op(const WireDims& dims, const Gate& gate,
 void
 apply_op(const CompiledOp& op, StateVector& psi, ExecScratch& scratch)
 {
+    // Hook sits outside the kernels' OpenMP regions; counts land in the
+    // calling thread's block (see obs/counters.h).
+    if (obs::enabled()) {
+        obs::count_unchecked(kernel_counter(op.kind, /*batched=*/false));
+        obs::count_unchecked(obs::Counter::kEstimatedFlops,
+                             op_flop_estimate(op, psi.size()));
+    }
     Complex* amps = psi.amplitudes().data();
     switch (op.kind) {
         case KernelKind::kPermutation:

@@ -36,6 +36,7 @@
 
 #include "qdsim/exec/apply_plan.h"
 #include "qdsim/gate.h"
+#include "qdsim/obs/counters.h"
 #include "qdsim/state_vector.h"
 
 namespace qd::exec {
@@ -147,6 +148,17 @@ CompiledOp compile_op(const WireDims& dims, const Gate& gate,
 /** Executes a compiled operation in place. `psi` must be over the dims the
  *  op was compiled for. */
 void apply_op(const CompiledOp& op, StateVector& psi, ExecScratch& scratch);
+
+/** Dispatch counter for one application of `kind`: the single-shot zoo
+ *  counter, or the batched-zoo counter when `batched` (advanced by the
+ *  lane count there). The d=2/d=3 unrolled kernels share one
+ *  "single_wire" class. */
+obs::Counter kernel_counter(KernelKind kind, bool batched) noexcept;
+
+/** Rough work estimate for one application of `op` over a register of
+ *  `total` amplitudes, in real flops (a complex multiply-add counted as
+ *  8). Pure index moves (permutations) count 0. */
+std::uint64_t op_flop_estimate(const CompiledOp& op, Index total) noexcept;
 
 }  // namespace qd::exec
 

@@ -4,6 +4,9 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "qdsim/obs/counters.h"
+#include "qdsim/obs/trace.h"
+
 namespace qd::exec {
 
 namespace {
@@ -445,6 +448,19 @@ superop_conjugate(const CompiledSuperOp& op, Matrix& rho,
         throw std::invalid_argument(
             "superop_conjugate: rho size does not match compiled register");
     }
+    // Counter hook stays OUTSIDE the OpenMP regions below: one count per
+    // conjugation, charged to the calling thread (see obs/counters.h for
+    // why in-region counting would also be race-free but is avoided).
+    if (obs::enabled()) {
+        static constexpr obs::Counter kByKind[4] = {
+            obs::Counter::kSuperDiagonal,
+            obs::Counter::kSuperMonomial,
+            obs::Counter::kSuperControlled,
+            obs::Counter::kSuperDense,
+        };
+        obs::count_unchecked(kByKind[static_cast<unsigned>(op.kind)]);
+    }
+    obs::ScopedSpan span("density", "superop_conjugate");
     Complex* a = rho.data().data();
     if (op.kind == SuperOpKind::kDiagonal) {
         // Fused single pass: rho(r, c) *= d[r] * conj(d[c]).

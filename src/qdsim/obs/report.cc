@@ -1,0 +1,103 @@
+#include "qdsim/obs/report.h"
+
+#include <cstdio>
+
+namespace qd::obs {
+
+namespace {
+
+constexpr const char* kClassNames[6] = {
+    "permutation", "diagonal", "monomial", "single_wire", "controlled",
+    "dense",
+};
+
+}  // namespace
+
+std::array<std::uint64_t, 6>
+SimReport::kernel_class_totals() const
+{
+    std::array<std::uint64_t, 6> totals{};
+    for (std::size_t cls = 0; cls < 6; ++cls) {
+        const auto ss = static_cast<std::size_t>(Counter::kSsPermutation);
+        const auto bat = static_cast<std::size_t>(Counter::kBatPermutation);
+        totals[cls] = counters.v[ss + cls] + counters.v[bat + cls];
+    }
+    return totals;
+}
+
+double
+SimReport::plan_cache_hit_rate() const
+{
+    const std::uint64_t hits = counters[Counter::kPlanCacheHits];
+    const std::uint64_t misses = counters[Counter::kPlanCacheMisses];
+    if (hits + misses == 0) {
+        return 1.0;
+    }
+    return static_cast<double>(hits) / static_cast<double>(hits + misses);
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+SimReport::metrics() const
+{
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    out.reserve(kNumCounters + 6);
+    for (std::size_t i = 0; i < kNumCounters; ++i) {
+        out.emplace_back(
+            std::string("obs_") + counter_name(static_cast<Counter>(i)),
+            counters.v[i]);
+    }
+    const auto totals = kernel_class_totals();
+    for (std::size_t cls = 0; cls < 6; ++cls) {
+        out.emplace_back(std::string("obs_kernel_") + kClassNames[cls],
+                         totals[cls]);
+    }
+    return out;
+}
+
+std::string
+SimReport::to_string() const
+{
+    std::string out = "SimReport\n";
+    char line[128];
+    for (const auto& [name, value] : metrics()) {
+        if (value == 0) {
+            continue;
+        }
+        std::snprintf(line, sizeof(line), "  %-28s %llu\n", name.c_str(),
+                      static_cast<unsigned long long>(value));
+        out += line;
+    }
+    std::snprintf(line, sizeof(line), "  %-28s %.6f\n", "obs_cache_hit_rate",
+                  plan_cache_hit_rate());
+    out += line;
+    return out;
+}
+
+std::string
+SimReport::to_json() const
+{
+    std::string out = "{";
+    char buf[128];
+    bool first = true;
+    for (const auto& [name, value] : metrics()) {
+        std::snprintf(buf, sizeof(buf), "%s\n  \"%s\": %llu",
+                      first ? "" : ",", name.c_str(),
+                      static_cast<unsigned long long>(value));
+        out += buf;
+        first = false;
+    }
+    std::snprintf(buf, sizeof(buf), "%s\n  \"obs_cache_hit_rate\": %.6f\n}",
+                  first ? "" : ",", plan_cache_hit_rate());
+    out += buf;
+    return out;
+}
+
+SimReport
+report_snapshot()
+{
+    SimReport rep;
+    rep.counters = counters_snapshot();
+    return rep;
+}
+
+}  // namespace qd::obs

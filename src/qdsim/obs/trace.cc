@@ -1,0 +1,244 @@
+#include "qdsim/obs/trace.h"
+
+#if QD_OBS_BUILD
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <tuple>
+
+namespace qd::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::atomic<bool> g_tracing{false};
+
+/** Epoch is only written inside trace_begin() while g_tracing is false,
+ *  and only read by threads that observed g_tracing == true afterwards
+ *  (release/acquire pair on g_tracing orders the accesses). */
+Clock::time_point g_epoch;
+
+struct ThreadBuffer {
+    std::vector<TraceEvent> events;
+    std::uint32_t tid = 0;
+    std::uint64_t seq = 0;
+};
+
+struct TraceRegistry {
+    std::mutex mu;
+    std::vector<ThreadBuffer*> live;
+    std::vector<TraceEvent> retired;
+    std::uint32_t next_tid = 1;
+};
+
+TraceRegistry&
+registry()
+{
+    static TraceRegistry* r = new TraceRegistry();
+    return *r;
+}
+
+struct TlsBuffer {
+    ThreadBuffer buf;
+
+    TlsBuffer()
+    {
+        TraceRegistry& r = registry();
+        const std::lock_guard<std::mutex> lock(r.mu);
+        buf.tid = r.next_tid++;
+        r.live.push_back(&buf);
+    }
+
+    ~TlsBuffer()
+    {
+        TraceRegistry& r = registry();
+        const std::lock_guard<std::mutex> lock(r.mu);
+        r.retired.insert(r.retired.end(),
+                         std::make_move_iterator(buf.events.begin()),
+                         std::make_move_iterator(buf.events.end()));
+        for (std::size_t i = 0; i < r.live.size(); ++i) {
+            if (r.live[i] == &buf) {
+                r.live.erase(r.live.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+                break;
+            }
+        }
+    }
+};
+
+ThreadBuffer&
+tls_buffer()
+{
+    thread_local TlsBuffer holder;
+    return holder.buf;
+}
+
+double
+now_us()
+{
+    return std::chrono::duration<double, std::micro>(Clock::now() - g_epoch)
+        .count();
+}
+
+void
+append_escaped(std::string& out, const std::string& s)
+{
+    for (const char ch : s) {
+        if (ch == '"' || ch == '\\') {
+            out.push_back('\\');
+        }
+        if (static_cast<unsigned char>(ch) >= 0x20) {
+            out.push_back(ch);
+        }
+    }
+}
+
+}  // namespace
+
+bool
+tracing() noexcept
+{
+    return g_tracing.load(std::memory_order_acquire);
+}
+
+void
+trace_begin()
+{
+    TraceRegistry& r = registry();
+    {
+        const std::lock_guard<std::mutex> lock(r.mu);
+        g_tracing.store(false, std::memory_order_release);
+        r.retired.clear();
+        for (ThreadBuffer* b : r.live) {
+            b->events.clear();
+            b->seq = 0;
+        }
+        g_epoch = Clock::now();
+    }
+    g_tracing.store(true, std::memory_order_release);
+}
+
+std::vector<TraceEvent>
+trace_end()
+{
+    g_tracing.store(false, std::memory_order_release);
+    TraceRegistry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mu);
+    std::vector<TraceEvent> out = std::move(r.retired);
+    r.retired.clear();
+    for (ThreadBuffer* b : r.live) {
+        out.insert(out.end(),
+                   std::make_move_iterator(b->events.begin()),
+                   std::make_move_iterator(b->events.end()));
+        b->events.clear();
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                         return std::tie(a.ts_us, a.tid, a.seq) <
+                                std::tie(b.ts_us, b.tid, b.seq);
+                     });
+    return out;
+}
+
+bool
+write_chrome_trace(const std::vector<TraceEvent>& events,
+                   const std::string& path)
+{
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        return false;
+    }
+    std::string line;
+    std::fputs("[\n", f);
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const TraceEvent& e = events[i];
+        line.clear();
+        line += "{\"name\":\"";
+        append_escaped(line, e.name);
+        line += "\",\"cat\":\"";
+        append_escaped(line, e.cat);
+        line += "\",\"ph\":\"X\",\"pid\":1";
+        char num[96];
+        std::snprintf(num, sizeof(num), ",\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f",
+                      e.tid, e.ts_us, e.dur_us);
+        line += num;
+        if (!e.args.empty()) {
+            line += ",\"args\":{";
+            for (std::size_t k = 0; k < e.args.size(); ++k) {
+                if (k != 0) {
+                    line += ',';
+                }
+                line += '"';
+                append_escaped(line, e.args[k].key);
+                std::snprintf(num, sizeof(num), "\":%lld",
+                              static_cast<long long>(e.args[k].value));
+                line += num;
+            }
+            line += '}';
+        }
+        line += '}';
+        if (i + 1 != events.size()) {
+            line += ',';
+        }
+        line += '\n';
+        std::fputs(line.c_str(), f);
+    }
+    std::fputs("]\n", f);
+    return std::fclose(f) == 0;
+}
+
+ScopedSpan::ScopedSpan(const char* cat, const char* name)
+{
+    if (!tracing()) {
+        return;
+    }
+    live_ = true;
+    cat_ = cat;
+    name_ = name;
+    start_us_ = now_us();
+}
+
+ScopedSpan::ScopedSpan(const char* cat, std::string name)
+{
+    if (!tracing()) {
+        return;
+    }
+    live_ = true;
+    cat_ = cat;
+    name_ = std::move(name);
+    start_us_ = now_us();
+}
+
+void
+ScopedSpan::arg(const char* key, std::int64_t value)
+{
+    if (live_) {
+        args_.push_back(TraceArg{key, value});
+    }
+}
+
+ScopedSpan::~ScopedSpan()
+{
+    if (!live_) {
+        return;
+    }
+    const double end_us = now_us();
+    ThreadBuffer& buf = tls_buffer();
+    TraceEvent e;
+    e.name = std::move(name_);
+    e.cat = cat_;
+    e.ts_us = start_us_;
+    e.dur_us = end_us - start_us_;
+    e.tid = buf.tid;
+    e.seq = buf.seq++;
+    e.args = std::move(args_);
+    buf.events.push_back(std::move(e));
+}
+
+}  // namespace qd::obs
+
+#endif  // QD_OBS_BUILD

@@ -1,0 +1,113 @@
+/**
+ * @file trace.h
+ * RAII scoped spans emitting Chrome trace-event JSON.
+ *
+ * Tracing is gated separately from the counters: spans buffer events only
+ * between trace_begin() and trace_end(), so enabling counters for a long
+ * run never accumulates an unbounded event log. Events land in per-thread
+ * buffers (no lock on the hot path); trace_end() merges them and sorts by
+ * (timestamp, tid, sequence) for a stable file layout.
+ *
+ * The output of write_chrome_trace() is a plain JSON array of complete
+ * ("ph":"X") events — the legacy Chrome trace-event format accepted by
+ * chrome://tracing and Perfetto's trace processor.
+ *
+ * With QD_PROFILE=OFF (QD_OBS_BUILD=0) every entry point is an inline
+ * no-op and ScopedSpan is an empty object.
+ */
+#ifndef QDSIM_OBS_TRACE_H
+#define QDSIM_OBS_TRACE_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "qdsim/obs/counters.h"  // for QD_OBS_BUILD default
+
+namespace qd::obs {
+
+/** One integer-valued span annotation ("args" in the trace format). */
+struct TraceArg {
+    const char* key;
+    std::int64_t value;
+};
+
+/** One complete span, timestamps in microseconds since trace_begin(). */
+struct TraceEvent {
+    std::string name;
+    const char* cat = "";
+    double ts_us = 0.0;
+    double dur_us = 0.0;
+    std::uint32_t tid = 0;
+    std::uint64_t seq = 0;  ///< per-thread emission order (sort tiebreak)
+    std::vector<TraceArg> args;
+};
+
+#if QD_OBS_BUILD
+
+/** True between trace_begin() and trace_end(). */
+bool tracing() noexcept;
+
+/** Drops any buffered events, re-arms the clock epoch, starts buffering. */
+void trace_begin();
+
+/** Stops buffering and returns every event, merged and stably ordered by
+ *  (ts_us, tid, seq). Safe to call when not tracing (returns empty). */
+std::vector<TraceEvent> trace_end();
+
+/** Serialises events as a Chrome trace-event JSON array. Returns false if
+ *  the file could not be written. */
+bool write_chrome_trace(const std::vector<TraceEvent>& events,
+                        const std::string& path);
+
+/**
+ * Scoped span: measures from construction to destruction and appends one
+ * "X" event to the calling thread's buffer. When tracing is off the
+ * constructor is a relaxed load and a branch; name strings are only copied
+ * while tracing.
+ */
+class ScopedSpan {
+  public:
+    ScopedSpan(const char* cat, const char* name);
+    ScopedSpan(const char* cat, std::string name);
+    ~ScopedSpan();
+
+    ScopedSpan(const ScopedSpan&) = delete;
+    ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+    /** Attaches an integer annotation (no-op when tracing is off). */
+    void arg(const char* key, std::int64_t value);
+
+  private:
+    bool live_ = false;
+    double start_us_ = 0.0;
+    const char* cat_ = "";
+    std::string name_;
+    std::vector<TraceArg> args_;
+};
+
+#else  // !QD_OBS_BUILD
+
+inline bool tracing() noexcept { return false; }
+inline void trace_begin() {}
+inline std::vector<TraceEvent> trace_end() { return {}; }
+inline bool write_chrome_trace(const std::vector<TraceEvent>&,
+                               const std::string&) {
+    return false;
+}
+
+class ScopedSpan {
+  public:
+    ScopedSpan(const char*, const char*) {}
+    ScopedSpan(const char*, std::string) {}
+    ScopedSpan(const ScopedSpan&) = delete;
+    ScopedSpan& operator=(const ScopedSpan&) = delete;
+    void arg(const char*, std::int64_t) {}
+};
+
+#endif  // QD_OBS_BUILD
+
+}  // namespace qd::obs
+
+#endif  // QDSIM_OBS_TRACE_H

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "qdsim/obs/trace.h"
+
 namespace qd {
 
 // Noiseless compilation has no channel boundaries to respect, so the
@@ -18,12 +20,16 @@ apply_circuit(const Circuit& circuit, StateVector& psi)
 StateVector
 simulate(const Circuit& circuit)
 {
+    // The compile phase (CompiledCircuit ctor) and the execute phase
+    // (CompiledCircuit::run) each emit their own span.
+    obs::ScopedSpan span("sim", "simulate");
     return simulate(exec::CompiledCircuit(circuit, exec::FusionOptions{}));
 }
 
 StateVector
 simulate(const Circuit& circuit, const StateVector& initial)
 {
+    obs::ScopedSpan span("sim", "simulate");
     return simulate(exec::CompiledCircuit(circuit, exec::FusionOptions{}),
                     initial);
 }
@@ -54,6 +60,8 @@ circuit_unitary(const Circuit& circuit)
 Matrix
 circuit_unitary(const exec::CompiledCircuit& compiled)
 {
+    obs::ScopedSpan span("sim", "circuit_unitary");
+    span.arg("columns", static_cast<std::int64_t>(compiled.dims().size()));
     const Index n = compiled.dims().size();
     Matrix u(n, n);
     exec::ExecScratch scratch;

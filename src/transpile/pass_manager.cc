@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "qdsim/obs/trace.h"
+
 namespace qd::transpile {
 
 PassManager&
@@ -25,8 +27,17 @@ PassManager::run(const Circuit& circuit)
         PassRecord rec;
         rec.pass = pass->name();
         rec.before = current.stats();
-        current = pass->run(current);
-        rec.after = current.stats();
+        {
+            obs::ScopedSpan span("transpile", rec.pass);
+            current = pass->run(current);
+            rec.after = current.stats();
+            span.arg("gates_in",
+                     static_cast<std::int64_t>(rec.before.total_gates));
+            span.arg("gates_out",
+                     static_cast<std::int64_t>(rec.after.total_gates));
+            span.arg("depth_in", rec.before.depth);
+            span.arg("depth_out", rec.after.depth);
+        }
         records_.push_back(std::move(rec));
     }
     return current;
