@@ -9,15 +9,21 @@
  *      runs collapse onto the unrolled kernels.
  *   2. The paper's qutrit incrementer (Figure 7) at two-qutrit
  *      granularity — permutation∘permutation fusion (bitwise exact).
+ *   3. The paper's headline log-depth qutrit gen-Toffoli TREE (Figure 3),
+ *      decomposed to two-qutrit gates: adjacent ops act on
+ *      overlapping-but-not-nested pairs, so only the stage-2 cost-model
+ *      look-ahead fuses it — each decomposed doubly-controlled-U run
+ *      collapses to one controlled-subspace block.
  *
  * For each workload: ms per circuit pass unfused (PR 2 engine) vs fused,
  * min-of-reps timing, plus a correctness check (max amplitude deviation
- * fused vs unfused). Emits BENCH_fusion.json; the `speedup` (gen-Toffoli)
- * and `speedup_incrementer` ratios are gated in CI via
- * scripts/compare_bench.py.
+ * fused vs unfused). Emits BENCH_fusion.json; the `speedup`
+ * (gen-Toffoli), `speedup_incrementer`, and `speedup_tree` ratios are
+ * gated in CI via scripts/compare_bench.py, as is the instrumented
+ * section's obs_fusion_cost_rejected counter.
  *
  * Knobs: QD_FUSION_CONTROLS (default 11), QD_FUSION_INC_BITS (default
- * 11), QD_FUSION_REPS (default 7).
+ * 11), QD_FUSION_TREE_CONTROLS (default 6), QD_FUSION_REPS (default 7).
  */
 #include <algorithm>
 #include <chrono>
@@ -128,6 +134,7 @@ main(int argc, char** argv)
 
     const int n_controls = bench::env_int("QD_FUSION_CONTROLS", 11);
     const int inc_bits = bench::env_int("QD_FUSION_INC_BITS", 11);
+    const int tree_controls = bench::env_int("QD_FUSION_TREE_CONTROLS", 6);
     const int reps = bench::env_int("QD_FUSION_REPS", 7);
 
     const auto toff =
@@ -140,17 +147,29 @@ main(int argc, char** argv)
     const Measurement mi = measure(inc, reps);
     report("qutrit_incrementer", inc, mi);
 
+    // The paper's depth-parallel qutrit tree, decomposed to two-qutrit
+    // gates (overlapping operand pairs throughout).
+    const auto tree =
+        ctor::build_gen_toffoli(ctor::Method::kQutrit, tree_controls);
+    const Measurement mq = measure(tree.circuit, reps);
+    report("gen_toffoli_qutrit_tree", tree.circuit, mq);
+
     // Instrumented section: a fused compile + one pass of the Toffoli
-    // workload with counters on (fusion in/out stats, cap truncations) and
-    // optional --trace spans.
+    // network and of the qutrit tree with counters on (fusion in/out
+    // stats, cost-model accepts/rejects, cap truncations) and optional
+    // --trace spans.
     bench::ObsSection obs_section(bench::trace_flag(argc, argv));
     {
+        Rng rng(2019);
+        exec::ExecScratch scratch;
         const exec::CompiledCircuit fused(toff.circuit,
                                           exec::FusionOptions{});
-        Rng rng(2019);
         StateVector probe = haar_random_state(toff.circuit.dims(), rng);
-        exec::ExecScratch scratch;
         fused.run(probe, scratch);
+        const exec::CompiledCircuit fused_tree(tree.circuit,
+                                               exec::FusionOptions{});
+        StateVector tprobe = haar_random_state(tree.circuit.dims(), rng);
+        fused_tree.run(tprobe, scratch);
     }
     const obs::SimReport rep = obs_section.finish();
     std::printf("\n%s\n", rep.to_string().c_str());
@@ -175,6 +194,13 @@ main(int argc, char** argv)
         .num("incrementer_fused_ms", mi.fused_ms)
         .num("incrementer_max_dev", mi.max_dev, "%.3e")
         .num("speedup_incrementer", mi.speedup, "%.4f")
+        .integer("tree_controls", tree_controls)
+        .integer("tree_ops_unfused", static_cast<long long>(mq.ops_unfused))
+        .integer("tree_ops_fused", static_cast<long long>(mq.ops_fused))
+        .num("tree_unfused_ms", mq.unfused_ms)
+        .num("tree_fused_ms", mq.fused_ms)
+        .num("tree_max_dev", mq.max_dev, "%.3e")
+        .num("speedup_tree", mq.speedup, "%.4f")
         .report(rep);
     jw.write("BENCH_fusion.json");
     return 0;

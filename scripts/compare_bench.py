@@ -57,7 +57,17 @@ TRACKED = {
     ],
     "BENCH_density.json": ["speedup"],
     "BENCH_batch.json": ["speedup"],
-    "BENCH_fusion.json": ["speedup", "speedup_incrementer"],
+    # speedup_tree gates the stage-2 cost-model look-ahead (overlapping
+    # wire-set unions: the qutrit gen-Toffoli tree fuses ONLY through
+    # it), and obs_fusion_cost_rejected pins the model's decisions on
+    # bench_fusion's instrumented section (deterministic compile of two
+    # fixed circuits).
+    "BENCH_fusion.json": [
+        "speedup",
+        "speedup_incrementer",
+        "speedup_tree",
+        {"metric": "obs_fusion_cost_rejected", "mode": "exact"},
+    ],
 }
 
 MODES = ("min", "exact", "max")
@@ -249,6 +259,26 @@ def self_test():
              json.dumps({"misses": 9.0}), tracked=ceiling)
     scenario("max above ceiling fails", 1, json.dumps({"misses": 8.0}),
              json.dumps({"misses": 11.0}), tracked=ceiling)
+    # The BENCH_fusion.json gate shape: min-mode speedup_tree plus the
+    # exact-mode cost-model counter, checked together like CI does.
+    fusion = {"BENCH_fixture.json": [
+        "speedup_tree",
+        {"metric": "obs_fusion_cost_rejected", "mode": "exact"},
+    ]}
+    fusion_base = json.dumps(
+        {"speedup_tree": 30.0, "obs_fusion_cost_rejected": 2572})
+    scenario("fusion-shape gate passes", 0, fusion_base,
+             json.dumps({"speedup_tree": 28.5,
+                         "obs_fusion_cost_rejected": 2572}),
+             tracked=fusion)
+    scenario("speedup_tree below floor fails", 1, fusion_base,
+             json.dumps({"speedup_tree": 1.0,
+                         "obs_fusion_cost_rejected": 2572}),
+             tracked=fusion)
+    scenario("cost-rejected counter drift fails", 1, fusion_base,
+             json.dumps({"speedup_tree": 30.0,
+                         "obs_fusion_cost_rejected": 2571}),
+             tracked=fusion)
     scenario("top-level array fails schema", 1, ok,
              json.dumps([{"speedup": 2.0}]))
     scenario("boolean metric fails schema", 1, ok,

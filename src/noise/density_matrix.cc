@@ -260,8 +260,8 @@ density_matrix_fidelity(const Circuit& circuit, const NoiseModel& model,
                 // Wrap the product in a Gate so controlled structure
                 // survives fusion on this path too (plain-matrix
                 // compilation would densify same-signature controlled
-                // products). Fused-group plans are keyed by the cap (see
-                // PlanCache).
+                // products). Fused-group plans are keyed by the full
+                // option salt (see FusionOptions::plan_salt).
                 std::vector<int> gate_dims;
                 gate_dims.reserve(group.wires.size());
                 for (const int w : group.wires) {
@@ -273,7 +273,7 @@ density_matrix_fidelity(const Circuit& circuit, const NoiseModel& model,
                     exec::fused_matrix(dims, circuit.ops(), group));
                 dm.apply(exec::compile_superop(dims, fused_gate,
                                                group.wires, &cache,
-                                               fusion.max_block));
+                                               fusion.plan_salt()));
             }
             for (const std::uint32_t src : group.members) {
                 for (const CompiledChannel* ch :

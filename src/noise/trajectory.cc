@@ -54,14 +54,16 @@ struct EngineContext {
     exec::PlanCache cache;        ///< plans shared across both compilations
     exec::CompiledCircuit ideal;  ///< fully fused: ideal reference passes
     /** The noisy-loop compilation. Gate-error ops are fusion fences, so
-     *  every error channel still attaches to its pre-fusion op boundary;
-     *  under idle noise the moment schedule (wire-disjoint ops) is kept
-     *  per op and nothing merges. */
+     *  every error channel still attaches to its pre-fusion op boundary —
+     *  this holds for stage-2 union merges too, because cost-model
+     *  windows never span a fence; under idle noise the moment schedule
+     *  (wire-disjoint ops) is kept per op and nothing merges. */
     exec::CompiledCircuit noisy;
     /** Per noisy-op index: the error lotteries drawn after that op (the
      *  draws of its source ops; fences guarantee only the last source op
-     *  of a fused group carries any). Pointers into `error_memo_`,
-     *  deduplicated by (wires, probability). */
+     *  of a fused group — nested or union-merged — carries any).
+     *  Pointers into `error_memo_`, deduplicated by (wires,
+     *  probability). */
     std::vector<std::vector<const ErrorDraw*>> errors;
     /** Schedule over noisy-op indices. */
     std::vector<Moment> moments;

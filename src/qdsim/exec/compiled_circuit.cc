@@ -65,11 +65,13 @@ CompiledCircuit::CompiledCircuit(const Circuit& circuit,
             const Gate fused(
                 "fused[" + std::to_string(group.members.size()) + "]",
                 std::move(gate_dims), fused_matrix(dims_, ops, group));
-            // Fused-group plans are keyed by the cap (see PlanCache) so a
-            // shared cache across compilations with different fusion
-            // settings can never hand back a stale variant.
+            // Fused-group plans are keyed by the full option salt (see
+            // FusionOptions::plan_salt) so a shared cache across
+            // compilations with different fusion settings — cap, cost
+            // model, ratio, per-class caps — can never hand back a stale
+            // variant.
             ops_.push_back(compile_op(dims_, fused, group.wires, &use,
-                                      options.max_block));
+                                      options.plan_salt()));
             max_block_ = std::max(max_block_, fused.block_size());
             ++num_fused_groups_;
         }

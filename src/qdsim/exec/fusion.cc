@@ -1,6 +1,7 @@
 #include "qdsim/exec/fusion.h"
 
 #include <algorithm>
+#include <cstring>
 #include <stdexcept>
 #include <utility>
 
@@ -9,6 +10,13 @@
 namespace qd::exec {
 
 namespace {
+
+/** A per-class cap of 0 inherits the global max_block. */
+Index
+effective_cap(Index specific, Index fallback)
+{
+    return specific != 0 ? specific : fallback;
+}
 
 /**
  * Coarse cost class used by the fusion decision (the real kernel is chosen
@@ -157,20 +165,34 @@ try_merge_class(OpenGroup& g, FuseClass cls, const CtrlSig& sig, SetRel rel,
         }
         return true;
     }
-    if (fused_block > options.max_block) {
-        obs::count(obs::Counter::kFusionCapTruncations);
-        return false;  // bounds runtime degradation AND compile cost
-    }
+    // Each merge-eligible branch is bounded by the cap of the class the
+    // MERGED block lands in (0 inherits max_block); the caps bound
+    // runtime degradation AND the O(block^3)-per-member compile cost.
+    const auto capped = [&](Index cap) {
+        if (fused_block > cap) {
+            obs::count(obs::Counter::kFusionCapTruncations);
+            return true;
+        }
+        return false;
+    };
     if (g.cls == FuseClass::kLight && cls == FuseClass::kLight) {
-        return true;  // closed under products, O(block) kernels
+        // Closed under products, O(block) kernels.
+        return !capped(effective_cap(options.max_block_light,
+                                     options.max_block));
     }
     const bool group_dense =
         g.cls == FuseClass::kHeavy && g.wires.size() > 1;
     if (group_dense && rel != SetRel::kSecondSuper) {
-        return true;  // ride along in the existing dense block
+        // Ride along in the existing dense block.
+        return !capped(effective_cap(options.max_block_dense,
+                                     options.max_block));
     }
     if (cls == FuseClass::kHeavy && rel == SetRel::kSecondSuper) {
         // The op's own dense block subsumes the group's operands.
+        if (capped(effective_cap(options.max_block_dense,
+                                 options.max_block))) {
+            return false;
+        }
         g.cls = FuseClass::kHeavy;
         g.ctrl_sig.clear();
         return true;
@@ -180,9 +202,365 @@ try_merge_class(OpenGroup& g, FuseClass cls, const CtrlSig& sig, SetRel rel,
         // Same control signature: the product stays controlled (inner
         // operators multiply). Different signatures would densify two
         // cheap subspace passes into one full dense pass — a loss.
-        return true;
+        return !capped(effective_cap(options.max_block_controlled,
+                                     options.max_block));
     }
     return false;
+}
+
+std::vector<int>
+gate_dims_of(const WireDims& dims, const std::vector<int>& wires)
+{
+    std::vector<int> gd;
+    gd.reserve(wires.size());
+    for (const int w : wires) {
+        gd.push_back(dims.dim(w));
+    }
+    return gd;
+}
+
+/** estimate_block_cost plus the coarse class the block lands in (for the
+ *  per-class caps of the stage-2 look-ahead). */
+std::uint64_t
+est_class_cost(const WireDims& dims, std::span<const int> wires,
+               const Gate& gate, Index total, FuseClass& cls)
+{
+    const std::uint64_t t = total;
+    const std::uint64_t block = gate.block_size();
+    const std::uint64_t traffic_all = t * 2;
+    // Mirrors compile_op's dispatch order on the gate's cached structure,
+    // with the op_flop_estimate formula of the kernel each branch lands
+    // on, plus 2 per amplitude the kernel actually touches (the traffic
+    // term is what makes pass-count reduction count for zero-flop
+    // permutation merges).
+    if (wires.size() == 1 && !gate.is_permutation() &&
+        !gate.is_diagonal_gate() &&
+        (dims.dim(wires[0]) == 2 || dims.dim(wires[0]) == 3)) {
+        cls = FuseClass::kHeavy;  // unrolled dense d2/d3 kernel
+        return t * static_cast<std::uint64_t>(dims.dim(wires[0])) * 8 +
+               traffic_all;
+    }
+    if (gate.is_permutation()) {
+        cls = FuseClass::kLight;
+        return traffic_all;  // pure index moves, zero flops
+    }
+    if (gate.is_diagonal_gate()) {
+        cls = FuseClass::kLight;
+        return t * 6 + traffic_all;
+    }
+    std::vector<Index> perm;
+    std::vector<Complex> phase;
+    if (monomial_action(gate.matrix(), perm, phase)) {
+        cls = FuseClass::kLight;
+        // Slots the cycle walk visits: every member of a non-trivial
+        // cycle plus non-unit fixed points (build_monomial_cycles).
+        std::uint64_t slots = 0;
+        for (std::size_t i = 0; i < perm.size(); ++i) {
+            if (perm[i] != static_cast<Index>(i) ||
+                std::abs(phase[i] - Complex(1, 0)) > kTol) {
+                ++slots;
+            }
+        }
+        return (t / block) * slots * 6 + traffic_all;
+    }
+    if (gate.has_controlled_structure()) {
+        cls = FuseClass::kControlled;
+        const auto nb = static_cast<std::uint64_t>(
+            gate.controlled_structure().inner.rows());
+        const std::uint64_t outer = t / block;
+        return outer * nb * nb * 8 + outer * nb * 2;
+    }
+    cls = FuseClass::kHeavy;
+    return (t / block) * block * block * 8 + traffic_all;
+}
+
+/**
+ * True if the operand at position `p` of `m` (over per-position dims
+ * `gdim`) is a control: the matrix is block diagonal in that digit and
+ * acts as the identity on every value but one. Used to reorder union
+ * wires control-first, so Gate's controlled-structure detection (which
+ * only recognises LEADING controls) sees the product's structure.
+ */
+bool
+wire_is_control(const Matrix& m, const std::vector<Index>& gdim,
+                std::size_t p)
+{
+    const std::size_t b = m.rows();
+    Index stride = 1;
+    for (std::size_t q = gdim.size(); q-- > p + 1;) {
+        stride *= gdim[q];
+    }
+    const Index d = gdim[p];
+    Index active = d;  // sentinel: no non-identity value found yet
+    for (std::size_t r = 0; r < b; ++r) {
+        const Index rp = (static_cast<Index>(r) / stride) % d;
+        for (std::size_t c = 0; c < b; ++c) {
+            const Index cp = (static_cast<Index>(c) / stride) % d;
+            const Complex v = m(r, c);
+            if (rp != cp) {
+                if (std::abs(v) > kTol) {
+                    return false;  // mixes digit values: not a control
+                }
+                continue;
+            }
+            const Complex expect = r == c ? Complex(1, 0) : Complex(0, 0);
+            if (std::abs(v - expect) > kTol) {
+                if (active == d) {
+                    active = rp;
+                } else if (active != rp) {
+                    return false;  // acts on two values: not a control
+                }
+            }
+        }
+    }
+    return active != d;
+}
+
+/** Wire order with every control wire moved to the front (stable), so a
+ *  fused product like a doubly-controlled-U compiles onto the controlled
+ *  subspace kernel instead of the dense fallback. */
+std::vector<int>
+control_first_order(const WireDims& dims, const std::vector<int>& wires,
+                    const Matrix& m)
+{
+    std::vector<Index> gdim(wires.size());
+    for (std::size_t i = 0; i < wires.size(); ++i) {
+        gdim[i] = static_cast<Index>(dims.dim(wires[i]));
+    }
+    std::vector<int> ctrl, rest;
+    for (std::size_t p = 0; p < wires.size(); ++p) {
+        (wire_is_control(m, gdim, p) ? ctrl : rest).push_back(wires[p]);
+    }
+    ctrl.insert(ctrl.end(), rest.begin(), rest.end());
+    return ctrl;
+}
+
+/** Stage-2 working form of a stage-1 group; product matrix and per-pass
+ *  cost are evaluated lazily (most windows die on the cap pre-check
+ *  before ever needing them). */
+struct Stage2Group {
+    std::vector<int> wires;
+    std::vector<int> wire_set;
+    std::vector<std::uint32_t> members;
+    Index block = 1;
+    bool evaluated = false;
+    Matrix mat;              ///< product of the members over `wires`
+    std::uint64_t cost = 0;  ///< estimate_block_cost of one pass
+};
+
+void
+ensure_eval(Stage2Group& g, const WireDims& dims,
+            std::span<const Operation> ops)
+{
+    if (g.evaluated) {
+        return;
+    }
+    if (g.members.size() == 1 && ops[g.members[0]].wires == g.wires) {
+        // Singleton: reuse the original gate's cached structure.
+        const Operation& op = ops[g.members[0]];
+        g.mat = op.gate.matrix();
+        g.cost = estimate_block_cost(dims, op.wires, op.gate, dims.size());
+    } else {
+        const FusedGroup fg{g.wires, g.members};
+        g.mat = fused_matrix(dims, ops, fg);
+        const Gate probe("s2", gate_dims_of(dims, g.wires), g.mat);
+        g.cost = estimate_block_cost(dims, g.wires, probe, dims.size());
+    }
+    g.evaluated = true;
+}
+
+/** An admissible merge window: groups [start..j] fused over `wires`
+ *  (control-first operand order) at estimated per-pass cost `cost`. */
+struct WindowCand {
+    std::size_t j;
+    std::uint64_t cost;
+    std::vector<int> wires;
+};
+
+/**
+ * Stage 2: cost-model look-ahead over consecutive stage-1 groups.
+ *
+ * Enumeration: from each start group, keep extending the window over
+ * the next groups — maintaining the running product over the UNION of
+ * their wires — and record every window the cost model admits
+ * (est(union block) <= cost_ratio * sum of the parts, block within its
+ * class's cap). The look-ahead matters: every proper prefix of a
+ * decomposed doubly-controlled-U run multiplies to a dense block and is
+ * inadmissible, while the full run collapses to one cheap block — which
+ * is exactly the overlapping two-qutrit shape the paper's gen-Toffoli
+ * trees are made of. Growth stops at a fence (no window may place
+ * members on both sides of one: a fenced op stays the last member of
+ * its merged group) or when the union block exceeds every per-class cap
+ * (which also bounds the look-ahead's O(union^3)-per-member compile
+ * cost).
+ *
+ * Selection: a backwards dynamic program picks the partition of the
+ * group sequence into admissible windows (and singletons) minimizing
+ * the summed estimated cost. Greedy longest-window commits are NOT
+ * monotone in the thresholds (an early tie-merge can shadow a better
+ * later window); with the DP, raising cost_ratio or a cap only ENLARGES
+ * the admissible set while the objective stays fixed, so the chosen
+ * partition's estimated total is monotonically non-increasing in every
+ * threshold — the property the tests pin.
+ *
+ * Merging CONSECUTIVE groups is always order-safe: the stage-1
+ * partition executes group-major, so collapsing a contiguous run of
+ * groups into one block at the first group's position preserves the
+ * relative order of every operation. Members are emitted sorted
+ * ascending — any member of an earlier group with a higher index than a
+ * member of a later group slid there past that group's (only-growing)
+ * wire set, so the two commute and ascending order is equivalent.
+ */
+std::vector<Stage2Group>
+cost_model_lookahead(const WireDims& dims, std::span<const Operation> ops,
+                     std::span<const std::uint8_t> fence_after,
+                     const FusionOptions& options,
+                     std::vector<Stage2Group> in)
+{
+    const Index cap_light =
+        effective_cap(options.max_block_light, options.max_block);
+    const Index cap_ctrl =
+        effective_cap(options.max_block_controlled, options.max_block);
+    const Index cap_dense =
+        effective_cap(options.max_block_dense, options.max_block);
+    const Index growth_cap = std::max({cap_light, cap_ctrl, cap_dense});
+    const Index total = dims.size();
+    const std::size_t n = in.size();
+
+    // Prefix fence counts: fence after op f forbids fusing anything > f
+    // with anything <= f, so a window is legal iff no fence falls in
+    // [min member, max member).
+    std::vector<std::uint32_t> pf(ops.size() + 1, 0);
+    for (std::size_t i = 0; i < fence_after.size(); ++i) {
+        pf[i + 1] = pf[i] + (fence_after[i] != 0 ? 1u : 0u);
+    }
+
+    std::vector<std::vector<WindowCand>> cands(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        std::vector<int> uw = in[i].wires;   // union, operand order
+        std::vector<int> us = in[i].wire_set;
+        Matrix m;
+        bool have_m = false;
+        std::uint64_t sum = 0;
+        std::uint32_t lo = in[i].members.front();
+        std::uint32_t hi = in[i].members.back();
+        for (std::size_t j = i + 1; j < n; ++j) {
+            Stage2Group& gj = in[j];
+            const std::uint32_t nlo = std::min(lo, gj.members.front());
+            const std::uint32_t nhi = std::max(hi, gj.members.back());
+            if (pf[nhi] - pf[nlo] > 0) {
+                break;  // window would span a fence
+            }
+            std::vector<int> nw = uw;
+            for (const int w : gj.wires) {
+                if (!std::binary_search(us.begin(), us.end(), w)) {
+                    nw.push_back(w);
+                }
+            }
+            const Index nb = block_of(dims, nw);
+            if (nb > growth_cap) {
+                obs::count(obs::Counter::kFusionCapTruncations);
+                break;
+            }
+            if (!have_m) {
+                ensure_eval(in[i], dims, ops);
+                m = in[i].mat;
+                sum = in[i].cost;
+                have_m = true;
+            }
+            ensure_eval(gj, dims, ops);
+            if (nw.size() != uw.size()) {
+                m = embed_into_block(dims, nw, uw, m);
+            }
+            const Matrix mj = gj.wires == nw
+                                  ? gj.mat
+                                  : embed_into_block(dims, nw, gj.wires,
+                                                     gj.mat);
+            m = mj * m;
+            uw = std::move(nw);
+            std::vector<int> ns;
+            ns.reserve(us.size() + gj.wire_set.size());
+            std::set_union(us.begin(), us.end(), gj.wire_set.begin(),
+                           gj.wire_set.end(), std::back_inserter(ns));
+            us = std::move(ns);
+            lo = nlo;
+            hi = nhi;
+            sum += gj.cost;
+
+            std::vector<int> ord = control_first_order(dims, uw, m);
+            const Matrix m2 =
+                ord == uw ? m : embed_into_block(dims, ord, uw, m);
+            const Gate probe("s2", gate_dims_of(dims, ord), m2);
+            FuseClass ccls = FuseClass::kHeavy;
+            const std::uint64_t cand =
+                est_class_cost(dims, ord, probe, total, ccls);
+            const Index cap = ccls == FuseClass::kLight       ? cap_light
+                              : ccls == FuseClass::kControlled ? cap_ctrl
+                                                               : cap_dense;
+            if (nb > cap) {
+                // Over this class's cap (a later, cheaper-class extension
+                // may still fit its own).
+                obs::count(obs::Counter::kFusionCapTruncations);
+                continue;
+            }
+            if (static_cast<double>(cand) <=
+                options.cost_ratio * static_cast<double>(sum)) {
+                cands[i].push_back(WindowCand{j, cand, std::move(ord)});
+            } else {
+                obs::count(obs::Counter::kFusionCostRejected);
+            }
+        }
+    }
+
+    // dp[k]: minimal estimated cost of executing groups k..n-1;
+    // choice[k] is the window end realizing it (k itself = stay
+    // unmerged). On cost ties prefer the longer window: fewer passes at
+    // equal modelled work.
+    std::vector<std::uint64_t> dp(n + 1, 0);
+    std::vector<std::size_t> choice(n, 0);
+    for (std::size_t k = n; k-- > 0;) {
+        ensure_eval(in[k], dims, ops);
+        dp[k] = in[k].cost + dp[k + 1];
+        choice[k] = k;
+        for (const WindowCand& w : cands[k]) {
+            const std::uint64_t t = w.cost + dp[w.j + 1];
+            if (t <= dp[k]) {
+                dp[k] = t;
+                choice[k] = w.j;
+            }
+        }
+    }
+
+    std::vector<Stage2Group> out;
+    out.reserve(n);
+    std::size_t i = 0;
+    while (i < n) {
+        const std::size_t end = choice[i];
+        if (end == i) {
+            out.push_back(std::move(in[i]));
+            ++i;
+            continue;
+        }
+        const auto it = std::find_if(
+            cands[i].begin(), cands[i].end(),
+            [end](const WindowCand& w) { return w.j == end; });
+        Stage2Group merged;
+        merged.wires = it->wires;
+        for (std::size_t k = i; k <= end; ++k) {
+            merged.members.insert(merged.members.end(),
+                                  in[k].members.begin(),
+                                  in[k].members.end());
+        }
+        std::sort(merged.members.begin(), merged.members.end());
+        merged.wire_set = merged.wires;
+        std::sort(merged.wire_set.begin(), merged.wire_set.end());
+        merged.block = block_of(dims, merged.wires);
+        obs::count(obs::Counter::kFusionCostAccepted,
+                   static_cast<std::uint64_t>(end - i));
+        out.push_back(std::move(merged));
+        i = end + 1;
+    }
+    return out;
 }
 
 }  // namespace
@@ -252,8 +630,28 @@ fuse_sites(const WireDims& dims, std::span<const Operation> ops,
 
     std::vector<FusedGroup> out;
     out.reserve(groups.size());
-    for (OpenGroup& g : groups) {
-        out.push_back(FusedGroup{std::move(g.wires), std::move(g.members)});
+    if (options.enabled && options.cost_model && groups.size() > 1) {
+        std::vector<Stage2Group> s2;
+        s2.reserve(groups.size());
+        for (OpenGroup& g : groups) {
+            Stage2Group s;
+            s.wires = std::move(g.wires);
+            s.wire_set = std::move(g.wire_set);
+            s.members = std::move(g.members);
+            s.block = g.block;
+            s2.push_back(std::move(s));
+        }
+        s2 = cost_model_lookahead(dims, ops, fence_after, options,
+                                  std::move(s2));
+        for (Stage2Group& g : s2) {
+            out.push_back(
+                FusedGroup{std::move(g.wires), std::move(g.members)});
+        }
+    } else {
+        for (OpenGroup& g : groups) {
+            out.push_back(
+                FusedGroup{std::move(g.wires), std::move(g.members)});
+        }
     }
     if (obs::enabled()) {
         obs::count_unchecked(obs::Counter::kFusionOpsIn, ops.size());
@@ -265,6 +663,41 @@ fuse_sites(const WireDims& dims, std::span<const Operation> ops,
         obs::count_unchecked(obs::Counter::kFusionFusedGroups, fused);
     }
     return out;
+}
+
+Index
+FusionOptions::plan_salt() const
+{
+    // FNV-1a over the bit patterns of every option field: any distinct
+    // option combination yields a distinct salt (up to hash collision),
+    // so fused-group plans compiled under different knobs never alias in
+    // a shared PlanCache.
+    std::uint64_t h = 1469598103934665603ull;
+    const auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (i * 8)) & 0xffu;
+            h *= 1099511628211ull;
+        }
+    };
+    mix(enabled ? 1 : 0);
+    mix(max_block);
+    mix(cost_model ? 1 : 0);
+    std::uint64_t ratio_bits = 0;
+    static_assert(sizeof(ratio_bits) == sizeof(cost_ratio));
+    std::memcpy(&ratio_bits, &cost_ratio, sizeof(ratio_bits));
+    mix(ratio_bits);
+    mix(max_block_light);
+    mix(max_block_controlled);
+    mix(max_block_dense);
+    return h;
+}
+
+std::uint64_t
+estimate_block_cost(const WireDims& dims, std::span<const int> wires,
+                    const Gate& gate, Index total)
+{
+    FuseClass cls = FuseClass::kHeavy;
+    return est_class_cost(dims, wires, gate, total, cls);
 }
 
 Matrix

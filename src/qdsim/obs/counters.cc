@@ -36,6 +36,8 @@ counter_name(Counter c) noexcept
         "fusion_blocks_out",
         "fusion_fused_groups",
         "fusion_cap_truncations",
+        "fusion_cost_accepted",
+        "fusion_cost_rejected",
         "traj_shots",
         "traj_batches",
         "traj_gate_error_draws",

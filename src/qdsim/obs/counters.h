@@ -76,7 +76,9 @@ enum class Counter : unsigned {
     kFusionOpsIn,
     kFusionBlocksOut,
     kFusionFusedGroups,      ///< groups with >= 2 members
-    kFusionCapTruncations,   ///< merges rejected by FusionOptions::max_block
+    kFusionCapTruncations,   ///< merges rejected by a fusion block cap
+    kFusionCostAccepted,     ///< stage-2 union merges the cost model accepted
+    kFusionCostRejected,     ///< stage-2 candidates rejected by the cost model
     // Trajectory divergence events (noise/trajectory.cc).
     kTrajShots,
     kTrajBatches,           ///< batched shot groups (NOT batch-invariant)

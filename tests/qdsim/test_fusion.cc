@@ -14,6 +14,11 @@
 
 #include <gtest/gtest.h>
 
+#include "constructions/gen_toffoli.h"
+#include "constructions/ternary_decomp.h"
+#include "noise/density_matrix.h"
+#include "noise/error_placement.h"
+#include "noise/trajectory.h"
 #include "qdsim/exec/batched_kernels.h"
 #include "qdsim/exec/batched_state.h"
 #include "qdsim/exec/compiled_circuit.h"
@@ -318,14 +323,16 @@ TEST(Fusion, KernelClassAlgebraKeepsFastPaths) {
 
 TEST(Fusion, DependencyAdjacencySlidesPastDisjointOps) {
     // T(0) ... X(2) ... CNOT(1,0): the X on wire 2 commutes with both, so
-    // T and CNOT still fuse across it.
+    // T and CNOT still fuse across it. cost_model off pins the stage-1
+    // partition (stage 2 would go on to union-merge the two groups).
     const WireDims dims({2, 2, 2});
     Circuit c(dims);
     c.append(gates::T(), {0});
     c.append(gates::X(), {2});
     c.append(gates::CNOT(), {1, 0});
-    const auto groups =
-        exec::fuse_sites(dims, c.ops(), {}, FusionOptions{});
+    FusionOptions stage1;
+    stage1.cost_model = false;
+    const auto groups = exec::fuse_sites(dims, c.ops(), {}, stage1);
     ASSERT_EQ(groups.size(), 2u);
     EXPECT_EQ(groups[0].members, (std::vector<std::uint32_t>{0, 2}));
     EXPECT_EQ(groups[1].members, (std::vector<std::uint32_t>{1}));
@@ -482,6 +489,310 @@ TEST(Fusion, SharedCacheAcrossDifferentCapsStaysCorrect) {
         EXPECT_NEAR(std::abs(ra[i] - rp[i]), 0.0, 1e-12);
         EXPECT_NEAR(std::abs(rb[i] - rp[i]), 0.0, 1e-12);
     }
+}
+
+/** Estimated per-pass cost (exec::estimate_block_cost totals) of running
+ *  the whole partition fuse_sites produces under `options`. */
+std::uint64_t
+estimated_partition_cost(const Circuit& c, const FusionOptions& options)
+{
+    const WireDims& dims = c.dims();
+    const auto groups = exec::fuse_sites(dims, c.ops(), {}, options);
+    std::uint64_t total = 0;
+    for (const auto& g : groups) {
+        if (g.members.size() == 1) {
+            const Operation& op = c.ops()[g.members[0]];
+            total += exec::estimate_block_cost(dims, op.wires, op.gate,
+                                               dims.size());
+        } else {
+            std::vector<int> gd;
+            for (const int w : g.wires) {
+                gd.push_back(dims.dim(w));
+            }
+            const Gate probe("probe", std::move(gd),
+                             exec::fused_matrix(dims, c.ops(), g));
+            total += exec::estimate_block_cost(dims, g.wires, probe,
+                                               dims.size());
+        }
+    }
+    return total;
+}
+
+TEST(Fusion, OverlappingCcuRunsFuseToSingleLightBlocks) {
+    // The decomposed qutrit gen-Toffoli node (the paper's Fig. 3 tree
+    // building block) is a run of two-qutrit gates on overlapping pairs
+    // ({b,t};{a,b};{b,t};...), so stage 1 cannot merge any of it. The
+    // stage-2 look-ahead must collapse each seven-gate run into a single
+    // 27-block — and since the product is a doubly-controlled X+1 (a
+    // permutation), the union lands on the cheapest kernel of all, even
+    // though every proper prefix of the run is dense and inadmissible.
+    const auto tree = ctor::build_gen_toffoli(ctor::Method::kQutrit, 4);
+    const Circuit& c = tree.circuit;
+    const CompiledCircuit unfused(c);
+    const CompiledCircuit fused(c, FusionOptions{});
+    EXPECT_LT(fused.num_ops(), unfused.num_ops());
+    bool ccu_union = false;
+    for (const auto& op : fused.ops()) {
+        if (op.source_ops.size() >= ctor::kTwoQuditGatesPerCC &&
+            op.kind == KernelKind::kPermutation) {
+            ccu_union = true;
+        }
+    }
+    EXPECT_TRUE(ccu_union)
+        << "no decomposed CCU run fused onto the permutation kernel";
+    Rng rng(501);
+    EXPECT_LE(fused_unfused_deviation(c, FusionOptions{}, rng), 1e-12);
+}
+
+TEST(Fusion, DenseTargetCcuRunFusesToControlledBlock) {
+    // A decomposed CC-U run with a DENSE target (the Fourier gate): the
+    // product is a doubly-controlled U, so the union must land on the
+    // controlled-subspace kernel — which requires the look-ahead to
+    // reorder the union wires control-first (the controls arrive in the
+    // middle of the operand order as the window grows).
+    const WireDims dims = WireDims::uniform(3, 3);
+    Circuit c(dims);
+    ctor::append_cc_u(c, ctor::on1(0), ctor::on1(1), 2, gates::fourier(3),
+                      true);
+    ASSERT_EQ(c.num_ops(),
+              static_cast<std::size_t>(ctor::kTwoQuditGatesPerCC));
+    const CompiledCircuit fused(c, FusionOptions{});
+    ASSERT_EQ(fused.num_ops(), 1u);
+    EXPECT_EQ(fused.ops()[0].kind, KernelKind::kControlled);
+    EXPECT_EQ(fused.ops()[0].source_ops.size(),
+              static_cast<std::size_t>(ctor::kTwoQuditGatesPerCC));
+    Rng rng(507);
+    EXPECT_LE(fused_unfused_deviation(c, FusionOptions{}, rng), 1e-12);
+}
+
+TEST(Fusion, OverlappingPermutationUnionStaysBitwise) {
+    // Two controlled shifts on overlapping pairs: the union of the two
+    // permutations is still a permutation (kLight), the model accepts
+    // (one pass instead of two), and — permutations move amplitudes
+    // without arithmetic — fused execution stays bitwise identical.
+    const WireDims dims({3, 3, 3});
+    Circuit c(dims);
+    c.append(gates::Xplus1().controlled(3, 1), {0, 1});
+    c.append(gates::Xplus1().controlled(3, 2), {1, 2});
+    const auto groups =
+        exec::fuse_sites(dims, c.ops(), {}, FusionOptions{});
+    ASSERT_EQ(groups.size(), 1u);
+    EXPECT_EQ(groups[0].members,
+              (std::vector<std::uint32_t>{0, 1}));
+    const CompiledCircuit unfused(c);
+    const CompiledCircuit fused(c, FusionOptions{});
+    ASSERT_EQ(fused.num_ops(), 1u);
+    EXPECT_EQ(fused.ops()[0].kind, KernelKind::kPermutation);
+    Rng rng(502);
+    StateVector a = haar_random_state(dims, rng);
+    StateVector b = a;
+    unfused.run(a);
+    fused.run(b);
+    for (Index i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].real(), b[i].real()) << "index " << i;
+        ASSERT_EQ(a[i].imag(), b[i].imag()) << "index " << i;
+    }
+}
+
+TEST(Fusion, OverlapFusionMatchesOnDensityEngine) {
+    // Random mixed-radix circuits (naturally overlapping operand pairs)
+    // through the density-matrix engine: union fusion on the superop
+    // path must agree with stage-1-only and fully-unfused compilations.
+    Rng rng(503);
+    const WireDims dims({3, 2, 3});
+    const Circuit c = random_circuit(dims, 25, rng, false);
+    noise::NoiseModel m;
+    m.name = "test";
+    m.p1 = 2e-3;
+    m.p2 = 4e-3;
+    m.dt_1q = 100e-9;
+    m.dt_2q = 300e-9;
+    const StateVector init = haar_random_state(dims, rng);
+    FusionOptions stage1;
+    stage1.cost_model = false;
+    FusionOptions off;
+    off.enabled = false;
+    const Real full =
+        noise::density_matrix_fidelity(c, m, init, FusionOptions{});
+    const Real s1 = noise::density_matrix_fidelity(c, m, init, stage1);
+    const Real ref = noise::density_matrix_fidelity(c, m, init, off);
+    EXPECT_NEAR(full, ref, 1e-10);
+    EXPECT_NEAR(s1, ref, 1e-10);
+}
+
+TEST(Fusion, OverlapFusionPreservesTrajectoryPerTrialFidelities) {
+    // Single-qutrit error carriers (fences) separated by runs of
+    // overlapping two-qutrit gates: the noisy compilation union-merges
+    // the runs while every error channel stays pinned to its pre-fusion
+    // boundary, so the fused engine consumes the identical RNG stream
+    // and per-trial fidelities match the unfused engine to float
+    // reassociation.
+    const WireDims dims({3, 3, 3});
+    Circuit c(dims);
+    for (int rep = 0; rep < 3; ++rep) {
+        c.append(gates::fourier(3), {rep % 3});  // 1q: draws the error
+        c.append(gates::Xplus1().controlled(3, 1), {0, 1});
+        c.append(gates::Xplus1().controlled(3, 2), {1, 2});
+        c.append(gates::fourier(3).controlled(3, 1), {2, 0});
+    }
+    noise::NoiseModel m;
+    m.name = "test";
+    m.p1 = 5e-3;
+    m.dt_1q = 100e-9;
+    m.dt_2q = 300e-9;
+    // The engine's own fence construction must still fuse the 2q runs.
+    const CompiledCircuit noisy(
+        c, FusionOptions{},
+        noise::error_fences(noise::enumerate_error_sites(c, m)));
+    ASSERT_LT(noisy.num_ops(), c.num_ops());
+    noise::TrajectoryOptions fused;
+    fused.trials = 40;
+    fused.seed = 7;
+    fused.keep_per_trial = true;
+    noise::TrajectoryOptions unfused = fused;
+    unfused.fusion.enabled = false;
+    const auto a = noise::run_noisy_trials(c, m, fused);
+    const auto b = noise::run_noisy_trials(c, m, unfused);
+    ASSERT_EQ(a.per_trial.size(), b.per_trial.size());
+    for (std::size_t t = 0; t < a.per_trial.size(); ++t) {
+        EXPECT_NEAR(a.per_trial[t], b.per_trial[t], 1e-9) << "trial " << t;
+    }
+}
+
+TEST(Fusion, CostModelNeverIncreasesEstimatedCost) {
+    // The model only accepts a union whose estimated pass cost is within
+    // cost_ratio of the summed parts, so at any ratio <= 1 the stage-2
+    // partition can never cost more than the stage-1 one, and raising
+    // the acceptance threshold toward 1 never increases the total.
+    Rng rng(504);
+    const std::vector<std::vector<int>> registers = {
+        {3, 3, 3}, {2, 3, 2}, {3, 2, 2, 3}};
+    for (const auto& reg : registers) {
+        const WireDims dims(reg);
+        for (int rep = 0; rep < 3; ++rep) {
+            const Circuit c = random_circuit(dims, 40, rng, false);
+            FusionOptions off;
+            off.cost_model = false;
+            const std::uint64_t base = estimated_partition_cost(c, off);
+            std::uint64_t prev = base;
+            for (const double ratio : {0.25, 0.5, 1.0}) {
+                FusionOptions on;
+                on.cost_ratio = ratio;
+                const std::uint64_t cost = estimated_partition_cost(c, on);
+                EXPECT_LE(cost, base) << "ratio " << ratio;
+                EXPECT_LE(cost, prev) << "ratio " << ratio;
+                prev = cost;
+            }
+        }
+    }
+    // The decomposed tree node shows a strict win.
+    const auto tree = ctor::build_gen_toffoli(ctor::Method::kQutrit, 2);
+    FusionOptions off;
+    off.cost_model = false;
+    EXPECT_LT(estimated_partition_cost(tree.circuit, FusionOptions{}),
+              estimated_partition_cost(tree.circuit, off));
+}
+
+TEST(Fusion, PlanSaltSeparatesEveryOptionField) {
+    // Regression for the PlanCache salt contract: every FusionOptions
+    // field folds into plan_salt(), so toggling ANY knob at runtime on a
+    // shared cache yields a distinct salt (no plan-variant aliasing).
+    std::vector<FusionOptions> variants(8);
+    variants[1].enabled = false;
+    variants[2].max_block = 9;
+    variants[3].cost_model = false;
+    variants[4].cost_ratio = 0.5;
+    variants[5].max_block_light = 81;
+    variants[6].max_block_controlled = 9;
+    variants[7].max_block_dense = 9;
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+        for (std::size_t j = i + 1; j < variants.size(); ++j) {
+            EXPECT_NE(variants[i].plan_salt(), variants[j].plan_salt())
+                << "variants " << i << " and " << j << " alias";
+        }
+    }
+    EXPECT_EQ(FusionOptions{}.plan_salt(), FusionOptions{}.plan_salt());
+    EXPECT_NE(FusionOptions{}.plan_salt(), 0u)
+        << "default salt must not collide with the unfused salt 0";
+}
+
+TEST(Fusion, SharedCacheAcrossCostModelVariantsStaysCorrect) {
+    // Toggling the stage-2 knobs at runtime against one shared PlanCache
+    // must keep every compilation correct (stale-plan aliasing
+    // regression for the new option fields).
+    Rng rng(505);
+    const WireDims dims({3, 3, 3});
+    const Circuit c = random_circuit(dims, 40, rng, false);
+    exec::PlanCache cache(dims);
+    FusionOptions a;  // cost model on, defaults
+    FusionOptions b;
+    b.cost_model = false;
+    FusionOptions d;
+    d.cost_ratio = 2.0;
+    d.max_block_light = 81;
+    const CompiledCircuit fa(c, a, {}, &cache);
+    const CompiledCircuit fb(c, b, {}, &cache);
+    const CompiledCircuit fd(c, d, {}, &cache);
+    const CompiledCircuit plain(c);
+    StateVector ra = haar_random_state(dims, rng);
+    StateVector rb = ra, rd = ra, rp = ra;
+    fa.run(ra);
+    fb.run(rb);
+    fd.run(rd);
+    plain.run(rp);
+    for (Index i = 0; i < rp.size(); ++i) {
+        EXPECT_NEAR(std::abs(ra[i] - rp[i]), 0.0, 1e-12);
+        EXPECT_NEAR(std::abs(rb[i] - rp[i]), 0.0, 1e-12);
+        EXPECT_NEAR(std::abs(rd[i] - rp[i]), 0.0, 1e-12);
+    }
+}
+
+TEST(Fusion, UnionPartitionsRespectFences) {
+    // Random fences over circuits whose stage-1 groups union-merge: the
+    // stage-2 window must never span a fence, and the merged partition
+    // keeps every structural invariant.
+    Rng rng(506);
+    const WireDims dims({3, 3, 3});
+    for (int rep = 0; rep < 6; ++rep) {
+        const Circuit c = random_circuit(dims, 40, rng, false);
+        std::vector<std::uint8_t> fences(c.num_ops(), 0);
+        for (auto& f : fences) {
+            f = rng.uniform() < 0.2 ? 1 : 0;
+        }
+        const auto groups =
+            exec::fuse_sites(dims, c.ops(), fences, FusionOptions{});
+        expect_valid_partition(c, groups, fences);
+    }
+    // Deterministic: a fence in the middle of a decomposed CCU run must
+    // split the union merge.
+    const auto tree = ctor::build_gen_toffoli(ctor::Method::kQutrit, 2);
+    std::vector<std::uint8_t> fences(tree.circuit.num_ops(), 0);
+    fences[tree.circuit.num_ops() / 2] = 1;
+    const auto groups = exec::fuse_sites(tree.circuit.dims(),
+                                         tree.circuit.ops(), fences,
+                                         FusionOptions{});
+    expect_valid_partition(tree.circuit, groups, fences);
+    ASSERT_GE(groups.size(), 2u);
+}
+
+TEST(Fusion, PerClassCapsGateTheirOwnClasses) {
+    // max_block_light below the union block forbids the permutation
+    // union; inheriting (0) allows it. The dense cap does not gate a
+    // light merge.
+    const WireDims dims({3, 3, 3});
+    Circuit c(dims);
+    c.append(gates::Xplus1().controlled(3, 1), {0, 1});
+    c.append(gates::Xplus1().controlled(3, 2), {1, 2});
+    FusionOptions tight;
+    tight.max_block_light = 9;  // union needs 27
+    EXPECT_EQ(exec::fuse_sites(dims, c.ops(), {}, tight).size(), 2u);
+    FusionOptions dense_tight;
+    dense_tight.max_block_dense = 9;
+    EXPECT_EQ(exec::fuse_sites(dims, c.ops(), {}, dense_tight).size(), 1u);
+    FusionOptions wide;
+    wide.max_block = 9;
+    wide.max_block_light = 27;  // light class may exceed the global cap
+    EXPECT_EQ(exec::fuse_sites(dims, c.ops(), {}, wide).size(), 1u);
 }
 
 TEST(Fusion, MonomialKernelMatchesReference) {
