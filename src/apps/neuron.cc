@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "constructions/peephole.h"
 #include "constructions/qubit_toffoli.h"
 #include "constructions/qutrit_toffoli.h"
 #include "qdsim/gate_library.h"
@@ -159,6 +160,9 @@ build_neuron_circuit(const std::vector<int>& input_signs,
         ctor::append_mcu_no_ancilla(c, controls, n, gates::X(),
                                     ctor::QubitDecompOptions{true});
     }
+    // Consecutive MCZ decompositions meet uncompute-to-compute; drop the
+    // cancelling seam gates.
+    ctor::cancel_inverse_pairs(c);
     return c;
 }
 

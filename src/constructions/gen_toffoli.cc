@@ -4,6 +4,7 @@
 
 #include "constructions/he_tree.h"
 #include "constructions/lanyon_ralph.h"
+#include "constructions/peephole.h"
 #include "constructions/qubit_toffoli.h"
 #include "constructions/qutrit_toffoli.h"
 #include "constructions/wang.h"
@@ -114,6 +115,13 @@ build_gen_toffoli(Method method, int n_controls,
         append_lanyon_ralph(out.circuit, out.controls, out.target);
         break;
       }
+    }
+    if (options.decompose) {
+        // Decomposition seams leave cancelling debris (the trailing H of
+        // one Toffoli meeting the next one's leading H, compute CNOTs
+        // undone verbatim by the uncompute tree); the coarse circuits are
+        // kept verbatim as the paper's figures draw them.
+        cancel_inverse_pairs(out.circuit);
     }
     return out;
 }

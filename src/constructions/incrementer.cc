@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "constructions/peephole.h"
 #include "constructions/qubit_toffoli.h"
 #include "constructions/qutrit_toffoli.h"
 #include "qdsim/gate_library.h"
@@ -95,12 +96,19 @@ append_qutrit_incrementer(Circuit& circuit, const std::vector<int>& wires,
         circuit.append(gates::X01(), {wires[0]});
         return;
     }
+    const std::size_t first_op = circuit.num_ops();
     // LSB: X+1 encodes both the flipped bit and the generate flag.
     circuit.append(gates::Xplus1(), {wires[0]});
     ripple(circuit, wires, /*c=*/0, /*lo=*/1,
            /*hi=*/static_cast<int>(wires.size()) - 1, granularity);
     // Restore the LSB: 1 -> 1 (bit was 0, now 1) and 2 -> 0 (bit wrapped).
     circuit.append(gates::X02(), {wires[0]});
+    if (granularity != IncGranularity::kAtomic) {
+        // Adjacent tree gates with |0>-controls on the same wire open and
+        // close identical X01 sandwiches back to back; drop the seams.
+        // The atomic form is Figure 7 verbatim and stays untouched.
+        cancel_inverse_pairs(circuit, first_op);
+    }
 }
 
 Circuit
@@ -125,6 +133,7 @@ append_qubit_staircase_incrementer(Circuit& circuit,
         return;
     }
     const QubitDecompOptions opts{decompose_toffoli};
+    const std::size_t first_op = circuit.num_ops();
     // Flip bit j iff bits 0..j-1 are all ones; highest bits first so lower
     // controls still hold pre-increment values.
     for (int j = n - 1; j >= 1; --j) {
@@ -146,6 +155,11 @@ append_qubit_staircase_incrementer(Circuit& circuit,
         }
     }
     circuit.append(gates::X(), {wires[0]});
+    if (decompose_toffoli) {
+        // Consecutive decomposed staircase gates share targets; their
+        // Toffoli seams leave H-H pairs with nothing between on that wire.
+        cancel_inverse_pairs(circuit, first_op);
+    }
 }
 
 Circuit

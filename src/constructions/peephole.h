@@ -1,0 +1,38 @@
+/**
+ * @file peephole.h
+ * Builder-local dead-gate cleanup.
+ *
+ * The decomposed constructions stitch sub-decompositions together, and the
+ * seams leave cancelling debris: the |0>-control X01 sandwich of one tree
+ * Toffoli closing right where the next one opens, or the trailing H of one
+ * qubit Toffoli meeting the leading H of its successor on the same target.
+ * verify's dead.inverse-pair rule flags exactly these, so the builders
+ * remove them at emission time with this helper instead of shipping work
+ * for the transpiler's CancelInversePairs pass to redo.
+ *
+ * Restricted to the suffix a builder just appended so callers' prefixes
+ * are never rewritten.
+ */
+#ifndef CONSTRUCTIONS_PEEPHOLE_H
+#define CONSTRUCTIONS_PEEPHOLE_H
+
+#include <cstddef>
+
+#include "qdsim/circuit.h"
+
+namespace qd::ctor {
+
+/**
+ * Cancels inverse-adjacent pairs in circuit ops [first_op, num_ops()):
+ * op j is dropped together with the nearest earlier live op i when i is
+ * the latest op sharing any wire with j, acts on the same wires in the
+ * same operand order, and gate_j * gate_i == identity up to global phase.
+ * Cancellation cascades (removing a pair can expose an outer pair).
+ * Preserves the circuit unitary up to global phase; returns the number of
+ * pairs removed.
+ */
+std::size_t cancel_inverse_pairs(Circuit& circuit, std::size_t first_op = 0);
+
+}  // namespace qd::ctor
+
+#endif  // CONSTRUCTIONS_PEEPHOLE_H

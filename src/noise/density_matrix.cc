@@ -11,6 +11,7 @@
 #include "qdsim/moments.h"
 #include "qdsim/obs/trace.h"
 #include "qdsim/simulator.h"
+#include "qdsim/verify/noise_audit.h"
 
 namespace qd::noise {
 
@@ -199,6 +200,7 @@ density_matrix_fidelity(const Circuit& circuit, const NoiseModel& model,
                         const StateVector& initial,
                         const exec::FusionOptions& fusion)
 {
+    verify::enforce_noisy(circuit, model, fusion);
     const StateVector ideal = simulate(circuit, initial);
     DensityMatrix dm(initial);
     Matrix& rho = dm.mutable_rho();

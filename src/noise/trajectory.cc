@@ -18,6 +18,7 @@
 #include "qdsim/obs/trace.h"
 #include "qdsim/random_state.h"
 #include "qdsim/simulator.h"
+#include "qdsim/verify/noise_audit.h"
 
 namespace qd::noise {
 
@@ -772,6 +773,7 @@ run_single_trajectory(const Circuit& circuit, const NoiseModel& model,
                       const StateVector& ideal_out, Rng& rng,
                       DampingEngine engine)
 {
+    verify::enforce_noisy(circuit, model);
     EngineContext ctx(circuit, model);
     select_damping_engine(ctx, engine);
     exec::ExecScratch scratch;
@@ -798,6 +800,11 @@ run_noisy_trials(const Circuit& circuit, const NoiseModel& model,
     if (batch == 0) {
         batch = std::min(kDefaultBatchLanes, trials);
     }
+    // Strict-mode static verification (QD_VERIFY=strict): analyze the
+    // circuit, its fused plans under the model's error fences, and the
+    // model's channels before spending any shots. After the cheap
+    // argument checks so the documented invalid_argument contract wins.
+    verify::enforce_noisy(circuit, model, options.fusion);
     // Trials are dealt out in fixed groups of `batch` lanes (the last
     // group may be narrower, covering trials < batch); lane t always runs
     // on stream root.child(t), so results are independent of the batch

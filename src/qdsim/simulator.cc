@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "qdsim/obs/trace.h"
+#include "qdsim/verify/verify.h"
 
 namespace qd {
 
@@ -14,6 +15,7 @@ namespace qd {
 void
 apply_circuit(const Circuit& circuit, StateVector& psi)
 {
+    verify::enforce(circuit);
     exec::CompiledCircuit(circuit, exec::FusionOptions{}).run(psi);
 }
 
@@ -23,6 +25,7 @@ simulate(const Circuit& circuit)
     // The compile phase (CompiledCircuit ctor) and the execute phase
     // (CompiledCircuit::run) each emit their own span.
     obs::ScopedSpan span("sim", "simulate");
+    verify::enforce(circuit);
     return simulate(exec::CompiledCircuit(circuit, exec::FusionOptions{}));
 }
 
@@ -30,6 +33,7 @@ StateVector
 simulate(const Circuit& circuit, const StateVector& initial)
 {
     obs::ScopedSpan span("sim", "simulate");
+    verify::enforce(circuit);
     return simulate(exec::CompiledCircuit(circuit, exec::FusionOptions{}),
                     initial);
 }
@@ -53,6 +57,7 @@ simulate(const exec::CompiledCircuit& compiled, const StateVector& initial)
 Matrix
 circuit_unitary(const Circuit& circuit)
 {
+    verify::enforce(circuit);
     return circuit_unitary(
         exec::CompiledCircuit(circuit, exec::FusionOptions{}));
 }

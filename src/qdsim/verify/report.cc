@@ -1,0 +1,132 @@
+#include "qdsim/verify/report.h"
+
+#include <sstream>
+#include <utility>
+
+namespace qd::verify {
+
+const char*
+severity_name(Severity severity)
+{
+    switch (severity) {
+        case Severity::kInfo:
+            return "info";
+        case Severity::kWarning:
+            return "warning";
+        case Severity::kError:
+            return "error";
+    }
+    return "unknown";
+}
+
+void
+Report::add(std::string rule, Severity severity, std::ptrdiff_t op_index,
+            std::string message)
+{
+    findings_.push_back(
+        Finding{std::move(rule), severity, op_index, std::move(message)});
+}
+
+std::size_t
+Report::count(Severity severity) const
+{
+    std::size_t n = 0;
+    for (const Finding& f : findings_) {
+        n += f.severity == severity ? 1 : 0;
+    }
+    return n;
+}
+
+bool
+Report::has_rule(std::string_view rule) const
+{
+    return count_rule(rule) > 0;
+}
+
+std::size_t
+Report::count_rule(std::string_view rule) const
+{
+    std::size_t n = 0;
+    for (const Finding& f : findings_) {
+        n += f.rule == rule ? 1 : 0;
+    }
+    return n;
+}
+
+void
+Report::merge(const Report& other)
+{
+    findings_.insert(findings_.end(), other.findings_.begin(),
+                     other.findings_.end());
+}
+
+std::string
+Report::to_string() const
+{
+    std::ostringstream out;
+    for (const Finding& f : findings_) {
+        out << severity_name(f.severity) << ' ' << f.rule;
+        if (f.op_index >= 0) {
+            out << " @op " << f.op_index;
+        }
+        out << ": " << f.message << '\n';
+    }
+    return out.str();
+}
+
+namespace {
+
+/** Minimal JSON string escaping (quotes, backslashes, control chars). */
+void
+append_json_string(std::ostringstream& out, std::string_view s)
+{
+    out << '"';
+    for (const char c : s) {
+        switch (c) {
+            case '"':
+                out << "\\\"";
+                break;
+            case '\\':
+                out << "\\\\";
+                break;
+            case '\n':
+                out << "\\n";
+                break;
+            case '\t':
+                out << "\\t";
+                break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    constexpr char kHex[] = "0123456789abcdef";
+                    out << "\\u00" << kHex[(c >> 4) & 0xf] << kHex[c & 0xf];
+                } else {
+                    out << c;
+                }
+        }
+    }
+    out << '"';
+}
+
+}  // namespace
+
+std::string
+Report::to_json() const
+{
+    std::ostringstream out;
+    out << "{\"findings\":[";
+    for (std::size_t i = 0; i < findings_.size(); ++i) {
+        const Finding& f = findings_[i];
+        out << (i ? "," : "") << "{\"rule\":";
+        append_json_string(out, f.rule);
+        out << ",\"severity\":\"" << severity_name(f.severity) << '"'
+            << ",\"op_index\":" << f.op_index << ",\"message\":";
+        append_json_string(out, f.message);
+        out << '}';
+    }
+    out << "],\"errors\":" << count(Severity::kError)
+        << ",\"warnings\":" << count(Severity::kWarning)
+        << ",\"infos\":" << count(Severity::kInfo) << '}';
+    return out.str();
+}
+
+}  // namespace qd::verify

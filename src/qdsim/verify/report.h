@@ -1,0 +1,84 @@
+/**
+ * @file report.h
+ * Finding/Report types shared by every static checker in verify/.
+ *
+ * A Finding is one rule violation (or observation) anchored to an
+ * operation index; a Report is the ordered list a whole analysis pass
+ * produced. Rule identifiers are stable dotted strings
+ * ("circuit.wire-bounds", "fusion.fence-span", ...) so tools, tests and
+ * CI artifacts can match on them without parsing messages.
+ */
+#ifndef QDSIM_VERIFY_REPORT_H
+#define QDSIM_VERIFY_REPORT_H
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qd::verify {
+
+/** How bad a finding is. Only kError findings fail strict mode. */
+enum class Severity : int {
+    kInfo,     ///< classification note; never actionable on its own
+    kWarning,  ///< suspicious but legal (dead gates, dirty ancilla, ...)
+    kError,    ///< invariant violation; executing the artifact is unsafe
+};
+
+/** Lower-case severity name ("info" / "warning" / "error"). */
+const char* severity_name(Severity severity);
+
+/** One rule violation (or observation) produced by a checker. */
+struct Finding {
+    /** Stable dotted rule identifier, e.g. "circuit.duplicate-wire". */
+    std::string rule;
+    Severity severity = Severity::kError;
+    /** Index of the offending operation in the analyzed sequence, or -1
+     *  when the finding concerns the whole artifact (e.g. a NoiseModel
+     *  channel or an options struct). */
+    std::ptrdiff_t op_index = -1;
+    /** Human-readable description with the concrete values involved. */
+    std::string message;
+};
+
+/** Ordered findings of one analysis pass, with severity tallies. */
+class Report {
+  public:
+    void add(std::string rule, Severity severity, std::ptrdiff_t op_index,
+             std::string message);
+
+    [[nodiscard]] const std::vector<Finding>& findings() const {
+        return findings_;
+    }
+    [[nodiscard]] std::size_t size() const { return findings_.size(); }
+
+    [[nodiscard]] std::size_t count(Severity severity) const;
+    [[nodiscard]] bool has_errors() const {
+        return count(Severity::kError) > 0;
+    }
+    /** True when the pass produced no findings at all (any severity). */
+    [[nodiscard]] bool clean() const { return findings_.empty(); }
+
+    /** True if any finding carries the given rule id (test/tool matcher). */
+    [[nodiscard]] bool has_rule(std::string_view rule) const;
+    /** Number of findings carrying the given rule id. */
+    [[nodiscard]] std::size_t count_rule(std::string_view rule) const;
+
+    /** Appends all findings of `other` (order preserved). */
+    void merge(const Report& other);
+
+    /** One line per finding: "severity rule @op: message". */
+    [[nodiscard]] std::string to_string() const;
+
+    /** Machine-readable JSON object:
+     *  {"findings":[{"rule","severity","op_index","message"},...],
+     *   "errors":N,"warnings":N,"infos":N}. */
+    [[nodiscard]] std::string to_json() const;
+
+  private:
+    std::vector<Finding> findings_;
+};
+
+}  // namespace qd::verify
+
+#endif  // QDSIM_VERIFY_REPORT_H
