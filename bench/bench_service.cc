@@ -1,0 +1,113 @@
+/**
+ * Compile-service resubmission: the simulation-as-a-service traffic
+ * pattern (the same circuit submitted over and over) against the
+ * cross-request artifact cache.
+ *
+ * Workload: the paper's qutrit Generalized Toffoli, submitted through
+ * exec::CompileService as a trajectory-engine job. Two measurements:
+ *   1. ms per COLD submission (empty cache: verify + compile + insert),
+ *   2. us per WARM submission (artifact-cache hit; no compile),
+ * and their ratio — how much work the cache removes from every request
+ * after the first. Emits BENCH_service.json.
+ *
+ * The instrumented section replays a fixed 16-submission burst with
+ * counters on: exactly 1 service miss and 15 hits, gated exactly in CI
+ * via compare_bench.py.
+ *
+ * Knobs: QD_SERVICE_CONTROLS (default 7), QD_SERVICE_COLD (default 5),
+ * QD_SERVICE_WARM (default 512).
+ */
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "constructions/gen_toffoli.h"
+#include "noise/models.h"
+#include "qdsim/exec/compile_service.h"
+
+namespace {
+
+using namespace qd;
+
+double
+now_ms()
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    bench::banner("bench_service: compile-once execute-many resubmission",
+                  "CompileService artifact cache; qutrit Generalized "
+                  "Toffoli trajectory job");
+
+    const int n_controls = bench::env_int("QD_SERVICE_CONTROLS", 7);
+    const int cold_reps = bench::env_int("QD_SERVICE_COLD", 5);
+    const int warm_reps = bench::env_int("QD_SERVICE_WARM", 512);
+
+    const auto built =
+        ctor::build_gen_toffoli(ctor::Method::kQutrit, n_controls);
+    const Circuit& circuit = built.circuit;
+    const noise::NoiseModel model = noise::sc();
+    std::printf("%s\n\n", circuit.summary("workload").c_str());
+
+    exec::CompileService service;
+
+    // 1. Cold submissions: every request pays verify + compile + insert.
+    const double t0 = now_ms();
+    for (int r = 0; r < cold_reps; ++r) {
+        service.clear();
+        (void)service.compile(circuit, model, exec::EngineKind::kTrajectory,
+                              {}, exec::Admission::kAlways);
+    }
+    const double cold_ms = (now_ms() - t0) / cold_reps;
+
+    // 2. Warm submissions: the cache returns the shared artifact.
+    (void)service.compile(circuit, model, exec::EngineKind::kTrajectory,
+                          {}, exec::Admission::kAlways);
+    const double t1 = now_ms();
+    for (int r = 0; r < warm_reps; ++r) {
+        (void)service.compile(circuit, model, exec::EngineKind::kTrajectory,
+                              {}, exec::Admission::kAlways);
+    }
+    const double warm_ms = (now_ms() - t1) / warm_reps;
+    const double speedup = cold_ms / warm_ms;
+
+    std::printf("cold submission: %10.3f ms\n", cold_ms);
+    std::printf("warm submission: %10.3f ms (%.1f us)\n", warm_ms,
+                warm_ms * 1000.0);
+    std::printf("amortization:    %10.1fx per request after the first\n\n",
+                speedup);
+
+    // 3. Instrumented burst: 16 identical submissions against the global
+    // service (ObsSection clears it) — exactly 1 miss then 15 hits,
+    // independent of the knobs above so CI can gate the counters exactly.
+    const int burst = 16;
+    bench::ObsSection obs_section(bench::trace_flag(argc, argv));
+    for (int r = 0; r < burst; ++r) {
+        (void)exec::CompileService::global().compile(
+            circuit, model, exec::EngineKind::kTrajectory, {},
+            exec::Admission::kAlways);
+    }
+    const obs::SimReport rep = obs_section.finish();
+    exec::CompileService::global().clear();
+    std::printf("%s\n", rep.to_string().c_str());
+
+    bench::JsonWriter jw;
+    jw.str("workload", "qutrit_gen_toffoli_trajectory_job")
+        .integer("n_controls", n_controls)
+        .integer("cold_reps", cold_reps)
+        .integer("warm_reps", warm_reps)
+        .integer("burst", burst)
+        .num("cold_ms_per_submission", cold_ms)
+        .num("warm_ms_per_submission", warm_ms)
+        .num("speedup", speedup, "%.4f")
+        .report(rep);
+    jw.write("BENCH_service.json");
+    return 0;
+}

@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "qdsim/exec/compile_service.h"
 #include "qdsim/obs/counters.h"
 #include "qdsim/obs/report.h"
 #include "qdsim/obs/trace.h"
@@ -140,6 +141,11 @@ class ObsSection {
     explicit ObsSection(std::string trace_path)
         : trace_path_(std::move(trace_path)), was_enabled_(obs::enabled())
     {
+        // Instrumented sections measure cold compiles: drop any artifact
+        // an earlier (timed, uninstrumented) section left in the global
+        // compile-service cache so the obs_* compile metrics stay
+        // comparable against pre-service baselines.
+        exec::CompileService::global().clear();
         obs::reset_counters();
         obs::set_enabled(true);
         if (!trace_path_.empty()) {

@@ -68,6 +68,16 @@ TRACKED = {
         "speedup_tree",
         {"metric": "obs_fusion_cost_rejected", "mode": "exact"},
     ],
+    # speedup is the cold-vs-warm submission ratio through the
+    # CompileService artifact cache; the hit/miss counters pin
+    # bench_service's instrumented 16-submission burst (1 miss, 15 hits)
+    # so any keying or admission change that alters cache traffic fails
+    # the gate.
+    "BENCH_service.json": [
+        "speedup",
+        {"metric": "obs_service_hits", "mode": "exact"},
+        {"metric": "obs_service_misses", "mode": "exact"},
+    ],
 }
 
 MODES = ("min", "exact", "max")
@@ -279,6 +289,23 @@ def self_test():
              json.dumps({"speedup_tree": 30.0,
                          "obs_fusion_cost_rejected": 2571}),
              tracked=fusion)
+    # The BENCH_service.json gate shape: amortization speedup plus the
+    # exact-mode artifact-cache traffic from the 16-submission burst.
+    service = {"BENCH_fixture.json": [
+        "speedup",
+        {"metric": "obs_service_hits", "mode": "exact"},
+        {"metric": "obs_service_misses", "mode": "exact"},
+    ]}
+    service_base = json.dumps(
+        {"speedup": 40.0, "obs_service_hits": 15, "obs_service_misses": 1})
+    scenario("service-shape gate passes", 0, service_base,
+             json.dumps({"speedup": 38.0, "obs_service_hits": 15,
+                         "obs_service_misses": 1}),
+             tracked=service)
+    scenario("service hit-counter drift fails", 1, service_base,
+             json.dumps({"speedup": 40.0, "obs_service_hits": 14,
+                         "obs_service_misses": 2}),
+             tracked=service)
     scenario("top-level array fails schema", 1, ok,
              json.dumps([{"speedup": 2.0}]))
     scenario("boolean metric fails schema", 1, ok,

@@ -23,6 +23,13 @@ compare_bench.py --self-test):
                  has a baseline, and every tracked metric exists in its
                  baseline file (a renamed metric would otherwise pass
                  the gate by matching nothing).
+  ir-error-ids   every stable "qdj.*" decode-error id raised anywhere in
+                 src/qdsim/ir/ must appear verbatim in
+                 tests/ir/test_ir.cc, so no rejection path can be added
+                 (or an id renamed) without an adversarial decode test
+                 covering it. Both sides are scanned as RAW text —
+                 strip_comments blanks string contents, which would
+                 erase the ids themselves.
 
 --self-test runs every check against generated good/bad fixtures so a
 broken linter fails CI in seconds.
@@ -190,10 +197,53 @@ def check_bench_metrics(root):
     return findings
 
 
+IR_ERROR_ID = re.compile(r'"(qdj\.[a-z][a-z-]*)"')
+
+
+def check_ir_error_ids(root):
+    """Requires every qdj.* id raised in src/qdsim/ir/ to appear in the
+    adversarial decode tests. RAW text on both sides: the ids live inside
+    string literals, which strip_comments blanks out."""
+    findings = []
+    ir_dir = os.path.join(root, "src", "qdsim", "ir")
+    test_path = os.path.join(root, "tests", "ir", "test_ir.cc")
+    if not os.path.isdir(ir_dir):
+        return findings
+    raised = {}
+    for dirpath, _, files in os.walk(ir_dir):
+        for name in sorted(files):
+            if not name.endswith((".cc", ".h")):
+                continue
+            path = os.path.join(dirpath, name)
+            with open(path, encoding="utf-8") as f:
+                text = f.read()
+            for m in IR_ERROR_ID.finditer(text):
+                raised.setdefault(m.group(1), os.path.relpath(path, root))
+    if not raised:
+        findings.append(
+            "src/qdsim/ir/: no qdj.* error ids found — either the decoder "
+            "lost its structured rejections or the id pattern drifted")
+        return findings
+    if not os.path.exists(test_path):
+        findings.append(
+            "tests/ir/test_ir.cc missing: the adversarial decode tests "
+            "that pin every qdj.* error id are gone")
+        return findings
+    with open(test_path, encoding="utf-8") as f:
+        tested = set(IR_ERROR_ID.findall(f.read()))
+    for error_id in sorted(set(raised) - tested):
+        findings.append(
+            f"{raised[error_id]}: error id \"{error_id}\" is raised but "
+            f"never appears in tests/ir/test_ir.cc (every stable decode "
+            f"rejection needs an adversarial test)")
+    return findings
+
+
 CHECKS = {
     "obs-in-omp": check_obs_in_omp,
     "raw-assert": check_raw_assert,
     "bench-metrics": check_bench_metrics,
+    "ir-error-ids": check_ir_error_ids,
 }
 
 
@@ -261,6 +311,22 @@ void f(int x) {
 """
 
 
+IR_CC = """
+void decode() {
+    fail("qdj.syntax", "bad token");
+    fail("qdj.wires", "duplicate wire");  // raised on two paths
+}
+"""
+
+IR_TEST_GOOD = """
+const char* kIds[] = {"qdj.syntax", "qdj.wires"};
+"""
+
+IR_TEST_BAD = """
+const char* kIds[] = {"qdj.syntax"};  // qdj.wires untested
+"""
+
+
 def write(root, rel, content):
     path = os.path.join(root, rel)
     os.makedirs(os.path.dirname(path), exist_ok=True)
@@ -303,6 +369,9 @@ def normalize_spec(spec):
     if bad:
         write(root, "bench/baselines/BENCH_orphan.json",
               json.dumps({"speedup": 1.0}))
+    write(root, "src/qdsim/ir/ir.cc", IR_CC)
+    write(root, "tests/ir/test_ir.cc",
+          IR_TEST_BAD if bad else IR_TEST_GOOD)
 
 
 def self_test():
@@ -316,6 +385,8 @@ def self_test():
                problems)
         expect(check_bench_metrics(good) == [],
                "consistent bench tables pass", problems)
+        expect(check_ir_error_ids(good) == [],
+               "fully tested ir error ids pass", problems)
 
         bad = os.path.join(tmp, "bad")
         make_fixture_repo(bad, bad=True)
@@ -332,6 +403,9 @@ def self_test():
                "tracked file without baseline flagged", problems)
         expect(any("BENCH_orphan.json" in f for f in bench),
                "untracked baseline flagged", problems)
+        ir = check_ir_error_ids(bad)
+        expect(len(ir) == 1 and "qdj.wires" in ir[0],
+               "untested ir error id flagged", problems)
     if problems:
         print(f"lint_invariants --self-test: FAILED ({len(problems)})")
         return 1

@@ -8,6 +8,7 @@
 
 #include "noise/channels.h"
 #include "noise/error_placement.h"
+#include "qdsim/exec/compile_service.h"
 #include "qdsim/moments.h"
 #include "qdsim/obs/trace.h"
 #include "qdsim/simulator.h"
@@ -195,150 +196,235 @@ apply_gaussian_dephasing(DensityMatrix& dm, Matrix& rho, int wire, Real s)
 
 }  // namespace
 
+/**
+ * The payload behind DensityCompilation (cached across requests by the
+ * CompileService): the fully fused ideal reference, every superoperator
+ * and channel the evolution touches — compiled once against one shared
+ * plan cache — and the flattened step program that replays the exact
+ * moment-by-moment (or fused-group) application order of the original
+ * inline engine.
+ */
+struct DensityCompilation::Impl {
+    /** One replayed application. kSuperOp/kChannel index into the pools;
+     *  kDephase carries its operand wire and the per-moment Gaussian
+     *  std-dev (dephasing_sigma * sqrt(dt)), folded at compile time. */
+    struct Step {
+        enum class Kind { kSuperOp, kChannel, kDephase };
+        Kind kind = Kind::kSuperOp;
+        std::size_t index = 0;
+        int wire = 0;
+        Real sigma = 0;
+    };
+
+    NoiseModel model;              ///< the model the program was built from
+    exec::PlanCache cache;         ///< plans shared by every compile below
+    exec::CompiledCircuit ideal;   ///< fully fused noiseless reference
+    std::vector<exec::CompiledSuperOp> superops;
+    std::vector<CompiledChannel> channels;
+    std::vector<Step> steps;
+
+    Impl(const Circuit& circuit, const NoiseModel& noise_model,
+         const exec::FusionOptions& fusion)
+        : model(noise_model), cache(circuit.dims()),
+          ideal(circuit, exec::FusionOptions{}, {}, &cache)
+    {
+        const WireDims& dims = circuit.dims();
+
+        // Gate-error channels: same placement as the trajectory engine,
+        // compiled once per (wires, per-channel probability).
+        const auto sites = enumerate_error_sites(circuit, model);
+        std::map<std::pair<std::vector<int>, Real>, std::size_t>
+            channel_memo;
+        std::vector<std::vector<std::size_t>> op_channels(
+            circuit.num_ops());
+        {
+            obs::ScopedSpan compile_span("density", "compile_channels");
+            for (std::size_t i = 0; i < sites.size(); ++i) {
+                for (const ErrorSite& site : sites[i]) {
+                    const auto key =
+                        std::make_pair(site.wires, site.per_channel);
+                    auto it = channel_memo.find(key);
+                    if (it == channel_memo.end()) {
+                        const MixedUnitaryChannel ch =
+                            site.dims.size() == 1
+                                ? depolarizing1(site.dims[0],
+                                                site.per_channel)
+                                : depolarizing2(site.dims[0], site.dims[1],
+                                                site.per_channel);
+                        std::size_t block = 1;
+                        for (const int d : site.dims) {
+                            block *= static_cast<std::size_t>(d);
+                        }
+                        channels.push_back(
+                            compile_channel(dims, ch.to_kraus(block),
+                                            site.wires, &cache));
+                        it = channel_memo
+                                 .emplace(key, channels.size() - 1)
+                                 .first;
+                    }
+                    op_channels[i].push_back(it->second);
+                }
+            }
+        }
+
+        // No idle noise: nothing separates gates but their error
+        // channels, so the moment scaffolding is irrelevant — fuse gate
+        // runs between error fences into single conjugation passes
+        // (channels fence the partition and attach to their pre-fusion op
+        // boundaries, exactly like the trajectory engine).
+        const bool idle_noise =
+            model.has_damping() || model.has_dephasing();
+        if (fusion.enabled && !idle_noise) {
+            const auto groups = exec::fuse_sites(
+                dims, circuit.ops(), error_fences(sites), fusion);
+            for (const exec::FusedGroup& group : groups) {
+                if (group.members.size() == 1) {
+                    const Operation& op = circuit.ops()[group.members[0]];
+                    superops.push_back(exec::compile_superop(
+                        dims, op.gate, op.wires, &cache));
+                } else {
+                    // Wrap the product in a Gate so controlled structure
+                    // survives fusion on this path too (plain-matrix
+                    // compilation would densify same-signature controlled
+                    // products). Fused-group plans are keyed by the full
+                    // option salt (see FusionOptions::plan_salt).
+                    std::vector<int> gate_dims;
+                    gate_dims.reserve(group.wires.size());
+                    for (const int w : group.wires) {
+                        gate_dims.push_back(dims.dim(w));
+                    }
+                    const Gate fused_gate(
+                        "fused[" + std::to_string(group.members.size()) +
+                            "]",
+                        std::move(gate_dims),
+                        exec::fused_matrix(dims, circuit.ops(), group));
+                    superops.push_back(exec::compile_superop(
+                        dims, fused_gate, group.wires, &cache,
+                        fusion.plan_salt()));
+                }
+                steps.push_back(
+                    {Step::Kind::kSuperOp, superops.size() - 1, 0, 0});
+                for (const std::uint32_t src : group.members) {
+                    for (const std::size_t ch :
+                         op_channels[static_cast<std::size_t>(src)]) {
+                        steps.push_back({Step::Kind::kChannel, ch, 0, 0});
+                    }
+                }
+            }
+            return;
+        }
+
+        // Compile every gate once, sharing plans across same-wire ops.
+        std::vector<std::size_t> gate_ops;
+        gate_ops.reserve(circuit.num_ops());
+        for (const Operation& op : circuit.ops()) {
+            superops.push_back(
+                exec::compile_superop(dims, op.gate, op.wires, &cache));
+            gate_ops.push_back(superops.size() - 1);
+        }
+
+        // Per-wire damping channels: dt depends only on the moment type,
+        // so at most two compiled variants exist per wire.
+        std::map<std::pair<int, Real>, std::size_t> damping_memo;
+        auto damping_for = [&](int wire, Real dt) -> std::size_t {
+            const auto key = std::make_pair(wire, dt);
+            auto it = damping_memo.find(key);
+            if (it == damping_memo.end()) {
+                const int d = dims.dim(wire);
+                std::vector<Real> lambdas;
+                for (int m = 1; m < d; ++m) {
+                    lambdas.push_back(model.lambda(m, dt));
+                }
+                const int wires[1] = {wire};
+                channels.push_back(compile_channel(
+                    dims, amplitude_damping(d, lambdas),
+                    std::span<const int>(wires, 1), &cache));
+                it = damping_memo.emplace(key, channels.size() - 1).first;
+            }
+            return it->second;
+        };
+
+        const auto moments = schedule_asap(circuit);
+        for (const Moment& moment : moments) {
+            for (const std::size_t idx : moment.op_indices) {
+                steps.push_back(
+                    {Step::Kind::kSuperOp, gate_ops[idx], 0, 0});
+                for (const std::size_t ch : op_channels[idx]) {
+                    steps.push_back({Step::Kind::kChannel, ch, 0, 0});
+                }
+            }
+            const Real dt = model.moment_duration(moment.has_multi_qudit);
+            for (int w = 0; w < circuit.num_wires(); ++w) {
+                if (model.has_damping()) {
+                    steps.push_back(
+                        {Step::Kind::kChannel, damping_for(w, dt), 0, 0});
+                }
+                if (model.has_dephasing()) {
+                    steps.push_back({Step::Kind::kDephase, 0, w,
+                                     model.dephasing_sigma *
+                                         std::sqrt(dt)});
+                }
+            }
+        }
+    }
+};
+
+DensityCompilation::DensityCompilation(const Circuit& circuit,
+                                       const NoiseModel& model,
+                                       const exec::FusionOptions& fusion)
+    : impl_(std::make_unique<Impl>(circuit, model, fusion)) {}
+
+DensityCompilation::~DensityCompilation() = default;
+
+const NoiseModel&
+DensityCompilation::model() const
+{
+    return impl_->model;
+}
+
+const WireDims&
+DensityCompilation::dims() const
+{
+    return impl_->ideal.dims();
+}
+
 Real
 density_matrix_fidelity(const Circuit& circuit, const NoiseModel& model,
                         const StateVector& initial,
                         const exec::FusionOptions& fusion)
 {
-    verify::enforce_noisy(circuit, model, fusion);
-    const StateVector ideal = simulate(circuit, initial);
+    // The compile service verifies at admission under QD_VERIFY=strict
+    // (same analysis verify::enforce_noisy ran here before the service
+    // existed) and caches the compilation across calls.
+    const std::shared_ptr<const exec::CompiledArtifact> artifact =
+        exec::CompileService::global().compile(circuit, model,
+                                               exec::EngineKind::kDensity,
+                                               fusion);
+    return density_matrix_fidelity(*artifact->density, initial);
+}
+
+Real
+density_matrix_fidelity(const DensityCompilation& compiled,
+                        const StateVector& initial)
+{
+    using Step = DensityCompilation::Impl::Step;
+    const DensityCompilation::Impl& impl = compiled.impl();
+    const StateVector ideal = simulate(impl.ideal, initial);
     DensityMatrix dm(initial);
     Matrix& rho = dm.mutable_rho();
-    const WireDims& dims = circuit.dims();
-    exec::PlanCache& cache = dm.plan_cache();
-
-    // Gate-error channels: same placement as the trajectory engine,
-    // compiled once per (wires, per-channel probability).
-    const auto sites = enumerate_error_sites(circuit, model);
-    std::map<std::pair<std::vector<int>, Real>, CompiledChannel>
-        channel_memo;
-    std::vector<std::vector<const CompiledChannel*>> op_channels(
-        circuit.num_ops());
-    {
-        obs::ScopedSpan compile_span("density", "compile_channels");
-        for (std::size_t i = 0; i < sites.size(); ++i) {
-            for (const ErrorSite& site : sites[i]) {
-                const auto key =
-                    std::make_pair(site.wires, site.per_channel);
-                auto it = channel_memo.find(key);
-                if (it == channel_memo.end()) {
-                    const MixedUnitaryChannel ch =
-                        site.dims.size() == 1
-                            ? depolarizing1(site.dims[0], site.per_channel)
-                            : depolarizing2(site.dims[0], site.dims[1],
-                                            site.per_channel);
-                    std::size_t block = 1;
-                    for (const int d : site.dims) {
-                        block *= static_cast<std::size_t>(d);
-                    }
-                    it = channel_memo
-                             .emplace(key,
-                                      compile_channel(dims,
-                                                      ch.to_kraus(block),
-                                                      site.wires, &cache))
-                             .first;
-                }
-                op_channels[i].push_back(&it->second);
-            }
-        }
-    }
-
-    // No idle noise: nothing separates gates but their error channels, so
-    // the moment scaffolding is irrelevant — fuse gate runs between error
-    // fences into single conjugation passes (channels fence the partition
-    // and attach to their pre-fusion op boundaries, exactly like the
-    // trajectory engine).
-    const bool idle_noise = model.has_damping() || model.has_dephasing();
-    if (fusion.enabled && !idle_noise) {
-        obs::ScopedSpan exec_span("density", "execute_fused");
-        const auto groups = exec::fuse_sites(dims, circuit.ops(),
-                                             error_fences(sites), fusion);
-        for (const exec::FusedGroup& group : groups) {
-            if (group.members.size() == 1) {
-                const Operation& op = circuit.ops()[group.members[0]];
-                dm.apply(exec::compile_superop(dims, op.gate, op.wires,
-                                               &cache));
-            } else {
-                // Wrap the product in a Gate so controlled structure
-                // survives fusion on this path too (plain-matrix
-                // compilation would densify same-signature controlled
-                // products). Fused-group plans are keyed by the full
-                // option salt (see FusionOptions::plan_salt).
-                std::vector<int> gate_dims;
-                gate_dims.reserve(group.wires.size());
-                for (const int w : group.wires) {
-                    gate_dims.push_back(dims.dim(w));
-                }
-                const Gate fused_gate(
-                    "fused[" + std::to_string(group.members.size()) + "]",
-                    std::move(gate_dims),
-                    exec::fused_matrix(dims, circuit.ops(), group));
-                dm.apply(exec::compile_superop(dims, fused_gate,
-                                               group.wires, &cache,
-                                               fusion.plan_salt()));
-            }
-            for (const std::uint32_t src : group.members) {
-                for (const CompiledChannel* ch :
-                     op_channels[static_cast<std::size_t>(src)]) {
-                    dm.apply(*ch);
-                }
-            }
-        }
-        return dm.fidelity(ideal);
-    }
-
-    // Compile every gate once, sharing plans across ops on the same wires.
-    std::vector<exec::CompiledSuperOp> gate_ops;
-    gate_ops.reserve(circuit.num_ops());
-    for (const Operation& op : circuit.ops()) {
-        gate_ops.push_back(
-            exec::compile_superop(dims, op.gate, op.wires, &cache));
-    }
-
-    // Per-wire damping channels: dt depends only on the moment type, so
-    // at most two compiled variants exist per wire.
-    std::map<std::pair<int, Real>, CompiledChannel> damping_memo;
-    auto damping_for = [&](int wire, Real dt) -> const CompiledChannel& {
-        const auto key = std::make_pair(wire, dt);
-        auto it = damping_memo.find(key);
-        if (it == damping_memo.end()) {
-            const int d = dims.dim(wire);
-            std::vector<Real> lambdas;
-            for (int m = 1; m < d; ++m) {
-                lambdas.push_back(model.lambda(m, dt));
-            }
-            const int wires[1] = {wire};
-            it = damping_memo
-                     .emplace(key,
-                              compile_channel(
-                                  dims, amplitude_damping(d, lambdas),
-                                  std::span<const int>(wires, 1), &cache))
-                     .first;
-        }
-        return it->second;
-    };
-
-    const auto moments = schedule_asap(circuit);
     obs::ScopedSpan exec_span("density", "execute");
-    for (const Moment& moment : moments) {
-        obs::ScopedSpan mspan("density", "moment");
-        mspan.arg("ops", static_cast<std::int64_t>(moment.op_indices.size()));
-        for (const std::size_t idx : moment.op_indices) {
-            dm.apply(gate_ops[idx]);
-            for (const CompiledChannel* ch : op_channels[idx]) {
-                dm.apply(*ch);
-            }
-        }
-        const Real dt = model.moment_duration(moment.has_multi_qudit);
-        for (int w = 0; w < circuit.num_wires(); ++w) {
-            if (model.has_damping()) {
-                dm.apply(damping_for(w, dt));
-            }
-            if (model.has_dephasing()) {
-                apply_gaussian_dephasing(dm, rho, w,
-                                         model.dephasing_sigma *
-                                             std::sqrt(dt));
-            }
+    exec_span.arg("steps", static_cast<std::int64_t>(impl.steps.size()));
+    for (const Step& step : impl.steps) {
+        switch (step.kind) {
+        case Step::Kind::kSuperOp:
+            dm.apply(impl.superops[step.index]);
+            break;
+        case Step::Kind::kChannel:
+            dm.apply(impl.channels[step.index]);
+            break;
+        case Step::Kind::kDephase:
+            apply_gaussian_dephasing(dm, rho, step.wire, step.sigma);
+            break;
         }
     }
     return dm.fidelity(ideal);

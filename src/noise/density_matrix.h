@@ -17,6 +17,7 @@
 #ifndef NOISE_DENSITY_MATRIX_H
 #define NOISE_DENSITY_MATRIX_H
 
+#include <memory>
 #include <span>
 
 #include "noise/kraus.h"
@@ -114,6 +115,36 @@ class DensityMatrix {
 };
 
 /**
+ * Everything the exact engine derives from (circuit, model, fusion)
+ * before rho moves: the fully fused ideal reference compilation, every
+ * gate lowered to its superoperator kernel, every gate-error and damping
+ * channel compiled against one shared plan cache, and the flattened
+ * moment-by-moment step program the evolution replays. Immutable after
+ * construction and safe to share across threads — the CompileService
+ * caches these across requests so repeated submissions of the same
+ * (circuit, model, fusion) skip compilation entirely. Construction does
+ * NOT verify; admission is the CompileService's job (or
+ * verify::enforce_noisy for direct callers).
+ */
+class DensityCompilation {
+ public:
+    DensityCompilation(const Circuit& circuit, const NoiseModel& model,
+                       const exec::FusionOptions& fusion = {});
+    ~DensityCompilation();
+    DensityCompilation(const DensityCompilation&) = delete;
+    DensityCompilation& operator=(const DensityCompilation&) = delete;
+
+    const NoiseModel& model() const;
+    const WireDims& dims() const;
+
+    struct Impl;
+    const Impl& impl() const { return *impl_; }
+
+ private:
+    std::unique_ptr<Impl> impl_;
+};
+
+/**
  * Evolves `initial` through the circuit under the model's noise exactly
  * (moment by moment, same channel placement as the trajectory engine —
  * see error_placement.h) and returns the fidelity against the noiseless
@@ -128,10 +159,20 @@ class DensityMatrix {
  * pre-fusion op boundaries exactly like the trajectory engine; under idle
  * noise (damping/dephasing every moment, where in-moment ops are
  * wire-disjoint) the per-op moment loop is kept unchanged.
+ *
+ * Compilation routes through exec::CompileService::global(), so repeated
+ * calls with the same (circuit, model, fusion) reuse one
+ * DensityCompilation.
  */
 Real density_matrix_fidelity(const Circuit& circuit, const NoiseModel& model,
                              const StateVector& initial,
                              const exec::FusionOptions& fusion = {});
+
+/** Precompiled variant: replays an existing compilation's step program
+ *  against a fresh rho = |initial><initial| (no verification, no
+ *  recompilation) — the per-request hot path behind the CompileService. */
+Real density_matrix_fidelity(const DensityCompilation& compiled,
+                             const StateVector& initial);
 
 }  // namespace qd::noise
 

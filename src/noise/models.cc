@@ -91,4 +91,26 @@ trapped_ion_models()
     return {ti_qubit(), bare_qutrit(), dressed_qutrit()};
 }
 
+std::optional<NoiseModel>
+model_by_name(const std::string& name)
+{
+    std::string upper = name;
+    for (char& c : upper) {
+        if (c >= 'a' && c <= 'z') {
+            c = static_cast<char>(c - 'a' + 'A');
+        }
+    }
+    for (const NoiseModel& m : superconducting_models()) {
+        if (m.name == upper) {
+            return m;
+        }
+    }
+    for (const NoiseModel& m : trapped_ion_models()) {
+        if (m.name == upper) {
+            return m;
+        }
+    }
+    return std::nullopt;
+}
+
 }  // namespace qd::noise

@@ -29,6 +29,8 @@
 #ifndef NOISE_MODELS_H
 #define NOISE_MODELS_H
 
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "noise/noise_model.h"
@@ -48,6 +50,14 @@ NoiseModel dressed_qutrit();
 std::vector<NoiseModel> superconducting_models();
 /** Table 3 models, in the paper's order. */
 std::vector<NoiseModel> trapped_ion_models();
+
+/**
+ * Looks up a preset by its table name ("SC", "SC+T1", ..., "TI_QUBIT",
+ * "BARE_QUTRIT", "DRESSED_QUTRIT"), case-insensitively; nullopt when the
+ * name matches no preset. This is how .qdj jobs (ir::Job::noise) name
+ * their model.
+ */
+std::optional<NoiseModel> model_by_name(const std::string& name);
 
 }  // namespace qd::noise
 

@@ -12,6 +12,7 @@
 #include "noise/error_placement.h"
 #include "qdsim/exec/batched_kernels.h"
 #include "qdsim/exec/batched_state.h"
+#include "qdsim/exec/compile_service.h"
 #include "qdsim/exec/compiled_circuit.h"
 #include "qdsim/moments.h"
 #include "qdsim/obs/counters.h"
@@ -31,27 +32,32 @@ namespace {
  *  curve is flat between 8 and 16). */
 constexpr int kDefaultBatchLanes = 12;
 
-/**
- * One precompiled error lottery: with probability `total` a uniformly
- * chosen unitary from `unitaries` fires. Compiled once per circuit so
- * every trajectory shot replays against the same plans.
- */
-struct ErrorDraw {
-    Real total = 0;
-    std::vector<exec::CompiledOp> unitaries;
-};
+}  // namespace
 
 /**
- * Precomputed per-circuit state shared by all trajectories: two compiled
- * circuits over one shared plan cache — `ideal` (fully fused) for the
- * noiseless reference passes, `noisy` (fused only between noise
- * boundaries; unfused under idle noise) for the moment loop — the
- * per-compiled-op precompiled depolarizing error draws, the moment
- * schedule and, for uniform-dimension registers, a per-basis-index key
- * packing the excited-level counts (n1, n2), which lets the no-jump
- * damping operator of ALL wires apply as one table-scaled pass.
+ * Precomputed per-circuit state shared by all trajectories (the payload
+ * behind TrajectoryCompilation, cached across requests by the
+ * CompileService): two compiled circuits over one shared plan cache —
+ * `ideal` (fully fused) for the noiseless reference passes, `noisy`
+ * (fused only between noise boundaries; unfused under idle noise) for
+ * the moment loop — the per-compiled-op precompiled depolarizing error
+ * draws, the moment schedule and, for uniform-dimension registers, a
+ * per-basis-index key packing the excited-level counts (n1, n2), which
+ * lets the no-jump damping operator of ALL wires apply as one
+ * table-scaled pass.
  */
-struct EngineContext {
+struct TrajectoryCompilation::Impl {
+    /**
+     * One precompiled error lottery: with probability `total` a uniformly
+     * chosen unitary from `unitaries` fires. Compiled once per circuit so
+     * every trajectory shot replays against the same plans.
+     */
+    struct ErrorDraw {
+        Real total = 0;
+        std::vector<exec::CompiledOp> unitaries;
+    };
+
+    NoiseModel model;             ///< the model every trial draws from
     exec::PlanCache cache;        ///< plans shared across both compilations
     exec::CompiledCircuit ideal;  ///< fully fused: ideal reference passes
     /** The noisy-loop compilation. Gate-error ops are fusion fences, so
@@ -75,12 +81,13 @@ struct EngineContext {
 
     // Non-copyable: `errors` holds raw pointers into this object's
     // error_memo_; a copy would leave them dangling into the source.
-    EngineContext(const EngineContext&) = delete;
-    EngineContext& operator=(const EngineContext&) = delete;
+    Impl(const Impl&) = delete;
+    Impl& operator=(const Impl&) = delete;
 
-    EngineContext(const Circuit& circuit, const NoiseModel& model,
-                  const exec::FusionOptions& fusion = {})
-        : cache(circuit.dims()),
+    Impl(const Circuit& circuit, const NoiseModel& noise_model,
+         const exec::FusionOptions& fusion)
+        : model(noise_model),
+          cache(circuit.dims()),
           ideal(circuit, fusion, {}, &cache) {
         const auto sites = enumerate_error_sites(circuit, model);
         const bool idle_noise =
@@ -203,6 +210,38 @@ struct EngineContext {
     /** Owns the deduplicated draws; node-based map keeps pointers stable. */
     std::map<std::pair<std::vector<int>, Real>, ErrorDraw> error_memo_;
 };
+
+TrajectoryCompilation::TrajectoryCompilation(
+    const Circuit& circuit, const NoiseModel& model,
+    const exec::FusionOptions& fusion)
+    : impl_(std::make_unique<Impl>(circuit, model, fusion)) {}
+
+TrajectoryCompilation::~TrajectoryCompilation() = default;
+
+const NoiseModel&
+TrajectoryCompilation::model() const
+{
+    return impl_->model;
+}
+
+const WireDims&
+TrajectoryCompilation::dims() const
+{
+    return impl_->noisy.dims();
+}
+
+bool
+TrajectoryCompilation::fused_damping_supported() const
+{
+    return impl_->accel;
+}
+
+namespace {
+
+// The single-shot and batched helpers below predate the pimpl split and
+// read the compilation through its original working name.
+using EngineContext = TrajectoryCompilation::Impl;
+using ErrorDraw = EngineContext::ErrorDraw;
 
 /** Draws and applies the operation's precompiled depolarizing errors. */
 void
@@ -433,13 +472,15 @@ apply_idle_dephasing(StateVector& psi, const NoiseModel& model, Real dt,
     psi.apply_product_diag(factors);
 }
 
-/** One trajectory against a prebuilt (compiled) context. */
+/** One trajectory against a prebuilt (compiled) context. `accel` is the
+ *  resolved damping engine (resolve_damping_engine) — a per-run choice,
+ *  so the shared immutable context never mutates. */
 Real
 run_trajectory_with_context(const NoiseModel& model,
                             const EngineContext& ctx,
                             const StateVector& initial,
                             const StateVector& ideal_out, Rng& rng,
-                            exec::ExecScratch& scratch)
+                            exec::ExecScratch& scratch, bool accel)
 {
     obs::count(obs::Counter::kTrajShots);
     StateVector psi = initial;
@@ -452,7 +493,7 @@ run_trajectory_with_context(const NoiseModel& model,
         }
         const Real dt = model.moment_duration(moment.has_multi_qudit);
         if (model.has_damping()) {
-            if (ctx.accel) {
+            if (accel) {
                 apply_idle_damping_fused(psi, model, dt, ctx, rng);
             } else {
                 apply_idle_damping_sequential(psi, model, dt, rng);
@@ -679,7 +720,7 @@ run_trajectory_batch(const NoiseModel& model, const EngineContext& ctx,
                      const TrajectoryOptions& options, const Rng& root,
                      int start, int lanes, std::vector<Real>& fidelities,
                      exec::BatchedScratch& bscratch,
-                     exec::ExecScratch& scratch)
+                     exec::ExecScratch& scratch, bool accel)
 {
     const WireDims& dims = ctx.noisy.dims();
     if (obs::enabled()) {
@@ -709,7 +750,7 @@ run_trajectory_batch(const NoiseModel& model, const EngineContext& ctx,
     // The fused no-jump tables depend only on the moment duration, which
     // takes exactly two values — build each once per batch, not per moment.
     std::vector<Real> scale_1q, inv_1q, scale_2q, inv_2q;
-    if (model.has_damping() && ctx.accel) {
+    if (model.has_damping() && accel) {
         build_damping_tables(model, model.dt_1q, ctx, scale_1q, inv_1q);
         build_damping_tables(model, model.dt_2q, ctx, scale_2q, inv_2q);
     }
@@ -728,7 +769,7 @@ run_trajectory_batch(const NoiseModel& model, const EngineContext& ctx,
         }
         const Real dt = model.moment_duration(moment.has_multi_qudit);
         if (model.has_damping()) {
-            if (ctx.accel) {
+            if (accel) {
                 apply_idle_damping_fused_batched(
                     psi, model, dt, ctx,
                     moment.has_multi_qudit ? scale_2q : scale_1q,
@@ -750,19 +791,22 @@ run_trajectory_batch(const NoiseModel& model, const EngineContext& ctx,
     }
 }
 
-/** Applies the options' damping-engine override to a fresh context.
+/** Resolves the damping-engine choice against a compiled context's
+ *  acceleration classification (no mutation — the context is shared).
  *  @throws std::invalid_argument if kFused is requested on a register the
  *          fused operator is undefined for. */
-void
-select_damping_engine(EngineContext& ctx, DampingEngine engine)
+bool
+resolve_damping_engine(const EngineContext& ctx, DampingEngine engine)
 {
     if (engine == DampingEngine::kSequential) {
-        ctx.accel = false;
-    } else if (engine == DampingEngine::kFused && !ctx.accel) {
+        return false;
+    }
+    if (engine == DampingEngine::kFused && !ctx.accel) {
         throw std::invalid_argument(
             "trajectory: fused damping requires a uniform register with "
             "dim <= 3");
     }
+    return ctx.accel;
 }
 
 }  // namespace
@@ -774,21 +818,54 @@ run_single_trajectory(const Circuit& circuit, const NoiseModel& model,
                       DampingEngine engine)
 {
     verify::enforce_noisy(circuit, model);
-    EngineContext ctx(circuit, model);
-    select_damping_engine(ctx, engine);
+    const TrajectoryCompilation compiled(circuit, model, {});
+    return run_single_trajectory(compiled, initial, ideal_out, rng, engine);
+}
+
+Real
+run_single_trajectory(const TrajectoryCompilation& compiled,
+                      const StateVector& initial,
+                      const StateVector& ideal_out, Rng& rng,
+                      DampingEngine engine)
+{
+    const EngineContext& ctx = compiled.impl();
+    const bool accel = resolve_damping_engine(ctx, engine);
     exec::ExecScratch scratch;
-    return run_trajectory_with_context(model, ctx, initial, ideal_out, rng,
-                                       scratch);
+    return run_trajectory_with_context(compiled.model(), ctx, initial,
+                                       ideal_out, rng, scratch, accel);
 }
 
 TrajectoryResult
 run_noisy_trials(const Circuit& circuit, const NoiseModel& model,
                  const TrajectoryOptions& options)
 {
-    const int trials = options.trials;
-    if (trials <= 0) {
+    if (options.trials <= 0) {
         // A non-positive count used to divide by zero (NaN mean) and
         // size a zero-thread pool; reject it up front.
+        throw std::invalid_argument(
+            "run_noisy_trials: options.trials must be positive");
+    }
+    if (options.batch < 0) {
+        throw std::invalid_argument(
+            "run_noisy_trials: options.batch must be >= 0");
+    }
+    // The compile service verifies at admission under QD_VERIFY=strict
+    // (same analysis verify::enforce_noisy ran here before the service
+    // existed) and caches the compilation across calls. After the cheap
+    // argument checks so the documented invalid_argument contract wins.
+    const std::shared_ptr<const exec::CompiledArtifact> artifact =
+        exec::CompileService::global().compile(circuit, model,
+                                               exec::EngineKind::kTrajectory,
+                                               options.fusion);
+    return run_noisy_trials(*artifact->trajectory, options);
+}
+
+TrajectoryResult
+run_noisy_trials(const TrajectoryCompilation& compiled,
+                 const TrajectoryOptions& options)
+{
+    const int trials = options.trials;
+    if (trials <= 0) {
         throw std::invalid_argument(
             "run_noisy_trials: options.trials must be positive");
     }
@@ -800,11 +877,6 @@ run_noisy_trials(const Circuit& circuit, const NoiseModel& model,
     if (batch == 0) {
         batch = std::min(kDefaultBatchLanes, trials);
     }
-    // Strict-mode static verification (QD_VERIFY=strict): analyze the
-    // circuit, its fused plans under the model's error fences, and the
-    // model's channels before spending any shots. After the cheap
-    // argument checks so the documented invalid_argument contract wins.
-    verify::enforce_noisy(circuit, model, options.fusion);
     // Trials are dealt out in fixed groups of `batch` lanes (the last
     // group may be narrower, covering trials < batch); lane t always runs
     // on stream root.child(t), so results are independent of the batch
@@ -820,8 +892,10 @@ run_noisy_trials(const Circuit& circuit, const NoiseModel& model,
     }
     threads = std::min(threads, num_batches);
 
-    EngineContext ctx(circuit, model, options.fusion);
-    select_damping_engine(ctx, options.damping_engine);
+    const NoiseModel& model = compiled.model();
+    const EngineContext& ctx = compiled.impl();
+    const bool accel =
+        resolve_damping_engine(ctx, options.damping_engine);
     std::vector<Real> fidelities(static_cast<std::size_t>(trials), 0.0);
     std::atomic<int> next{0};
     const Rng root(options.seed);
@@ -838,20 +912,21 @@ run_noisy_trials(const Circuit& circuit, const NoiseModel& model,
             const int lanes = std::min(batch, trials - start);
             if (lanes > 1) {
                 run_trajectory_batch(model, ctx, options, root, start, lanes,
-                                     fidelities, bscratch, scratch);
+                                     fidelities, bscratch, scratch, accel);
                 continue;
             }
             // Single-lane group: the per-shot reference path.
             const int t = start;
             Rng rng = root.child(static_cast<std::uint64_t>(t));
+            const WireDims& dims = ctx.noisy.dims();
             StateVector initial =
                 options.qubit_subspace_inputs
-                    ? haar_random_qubit_subspace_state(circuit.dims(), rng)
-                    : haar_random_state(circuit.dims(), rng);
+                    ? haar_random_qubit_subspace_state(dims, rng)
+                    : haar_random_state(dims, rng);
             const StateVector ideal = simulate(ctx.ideal, initial);
             fidelities[static_cast<std::size_t>(t)] =
                 run_trajectory_with_context(model, ctx, initial, ideal, rng,
-                                            scratch);
+                                            scratch, accel);
         }
     };
 

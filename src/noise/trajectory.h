@@ -33,6 +33,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 
 #include "noise/noise_model.h"
 #include "qdsim/circuit.h"
@@ -103,6 +104,38 @@ struct TrajectoryResult {
 };
 
 /**
+ * Everything the trajectory engine derives from (circuit, model, fusion)
+ * before the first shot runs: the fully fused ideal reference compilation,
+ * the error-fenced noisy compilation, the precompiled gate-error draw
+ * tables, the moment schedule, and the fused-damping acceleration
+ * classification. Immutable after construction and safe to share across
+ * threads — the CompileService caches these across requests so repeated
+ * submissions of the same (circuit, model, fusion) skip compilation
+ * entirely. Construction does NOT verify; admission is the
+ * CompileService's job (or verify::enforce_noisy for direct callers).
+ */
+class TrajectoryCompilation {
+ public:
+    TrajectoryCompilation(const Circuit& circuit, const NoiseModel& model,
+                          const exec::FusionOptions& fusion = {});
+    ~TrajectoryCompilation();
+    TrajectoryCompilation(const TrajectoryCompilation&) = delete;
+    TrajectoryCompilation& operator=(const TrajectoryCompilation&) = delete;
+
+    const NoiseModel& model() const;
+    const WireDims& dims() const;
+    /** True when the fused joint no-jump damping operator is defined
+     *  (uniform register with dim <= 3); kAuto resolves on this. */
+    bool fused_damping_supported() const;
+
+    struct Impl;
+    const Impl& impl() const { return *impl_; }
+
+ private:
+    std::unique_ptr<Impl> impl_;
+};
+
+/**
  * Runs one noisy trajectory of `circuit` from `initial`, comparing against
  * `ideal_out` (the noiseless output for the same input).
  * Exposed for tests; most callers use run_noisy_trials.
@@ -112,6 +145,13 @@ struct TrajectoryResult {
  *         there).
  */
 Real run_single_trajectory(const Circuit& circuit, const NoiseModel& model,
+                           const StateVector& initial,
+                           const StateVector& ideal_out, Rng& rng,
+                           DampingEngine engine = DampingEngine::kAuto);
+
+/** Precompiled variant: runs one trajectory on an existing compilation
+ *  (no verification, no recompilation). Same throw contract for kFused. */
+Real run_single_trajectory(const TrajectoryCompilation& compiled,
                            const StateVector& initial,
                            const StateVector& ideal_out, Rng& rng,
                            DampingEngine engine = DampingEngine::kAuto);
@@ -130,6 +170,16 @@ Real run_single_trajectory(const Circuit& circuit, const NoiseModel& model,
  */
 TrajectoryResult run_noisy_trials(const Circuit& circuit,
                                   const NoiseModel& model,
+                                  const TrajectoryOptions& options);
+
+/**
+ * Precompiled variant: runs trials on an existing compilation without
+ * re-verifying or recompiling — the per-request hot path behind the
+ * CompileService. `options.fusion` is ignored (the compilation already
+ * fixed it); every other option behaves as above, with the same throw
+ * contract for trials/batch/damping_engine.
+ */
+TrajectoryResult run_noisy_trials(const TrajectoryCompilation& compiled,
                                   const TrajectoryOptions& options);
 
 }  // namespace qd::noise

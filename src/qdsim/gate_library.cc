@@ -1,6 +1,9 @@
 #include "qdsim/gate_library.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <map>
 #include <stdexcept>
 
 namespace qd::gates {
@@ -176,15 +179,24 @@ swap_levels(int d, int a, int b)
     m(static_cast<std::size_t>(b), static_cast<std::size_t>(b)) = 0;
     m(static_cast<std::size_t>(a), static_cast<std::size_t>(b)) = 1;
     m(static_cast<std::size_t>(b), static_cast<std::size_t>(a)) = 1;
+    // "X01" etc. name the qutrit gates from the paper; other dimensions
+    // carry an explicit suffix so names are unique IR identifiers (the same
+    // convention as shift/unshift above).
     std::string name = "X";
     name += std::to_string(a);
     name += std::to_string(b);
+    if (d != 3) {
+        name += "(d=" + std::to_string(d) + ")";
+    }
     return Gate(std::move(name), {d}, std::move(m));
 }
 
 Gate
 phase_level(int d, int level, Real phi)
 {
+    if (level < 0 || level >= d) {
+        throw std::invalid_argument("phase_level: level out of range");
+    }
     Matrix m = Matrix::identity(static_cast<std::size_t>(d));
     m(static_cast<std::size_t>(level), static_cast<std::size_t>(level)) =
         std::polar(1.0, phi);
@@ -193,6 +205,11 @@ phase_level(int d, int level, Real phi)
     name += "(";
     name += std::to_string(phi);
     name += ")";
+    // Same uniqueness convention as swap_levels: qutrit names are bare,
+    // other dimensions are suffixed so the name is a stable IR identifier.
+    if (d != 3) {
+        name += "(d=" + std::to_string(d) + ")";
+    }
     return Gate(std::move(name), {d}, std::move(m));
 }
 
@@ -247,6 +264,369 @@ Gate
 from_matrix(std::string name, std::vector<int> dims, Matrix m)
 {
     return Gate(std::move(name), std::move(dims), std::move(m));
+}
+
+// ------------------------------------------------------------- registry ---
+
+namespace {
+
+/** Bitwise equality: identical names, dims, and matrix bit patterns. */
+bool
+same_gate(const Gate& a, const Gate& b)
+{
+    if (a.name() != b.name() || a.dims() != b.dims()) {
+        return false;
+    }
+    const Matrix& ma = a.matrix();
+    const Matrix& mb = b.matrix();
+    if (ma.rows() != mb.rows() || ma.cols() != mb.cols()) {
+        return false;
+    }
+    return std::memcmp(ma.data().data(), mb.data().data(),
+                       ma.data().size() * sizeof(Complex)) == 0;
+}
+
+using Factory = Gate (*)();
+
+/** Zero-parameter families, keyed by family name (== C++ builder name). */
+const std::map<std::string, Factory>&
+fixed_families()
+{
+    static const std::map<std::string, Factory> kTable = {
+        {"X", X},         {"Y", Y},           {"Z", Z},
+        {"H", H},         {"S", S},           {"T", T},
+        {"CNOT", CNOT},   {"CZ", CZ},         {"CCX", CCX},
+        {"X01", X01},     {"X02", X02},       {"X12", X12},
+        {"Xplus1", Xplus1}, {"Xminus1", Xminus1},
+        {"Z3", Z3},       {"H3", H3},
+    };
+    return kTable;
+}
+
+/** gate-name -> family for the fixed table (names differ for controls). */
+const std::map<std::string, std::string>&
+fixed_by_gate_name()
+{
+    static const std::map<std::string, std::string> kTable = [] {
+        std::map<std::string, std::string> t;
+        for (const auto& [family, factory] : fixed_families()) {
+            t.emplace(factory().name(), family);
+        }
+        return t;
+    }();
+    return kTable;
+}
+
+constexpr const char* kDagger = "†";  // 3 bytes in UTF-8
+
+/** Parses the leading "C[v0][v1]..." run; returns values + remainder. */
+bool
+parse_control_prefix(const std::string& name, std::vector<int>& values,
+                     std::string& rest)
+{
+    if (name.size() < 4 || name[0] != 'C' || name[1] != '[') {
+        return false;
+    }
+    std::size_t i = 1;
+    while (i < name.size() && name[i] == '[') {
+        const std::size_t close = name.find(']', i + 1);
+        if (close == std::string::npos || close == i + 1) {
+            return false;
+        }
+        int v = 0;
+        for (std::size_t j = i + 1; j < close; ++j) {
+            if (name[j] < '0' || name[j] > '9') {
+                return false;
+            }
+            v = v * 10 + (name[j] - '0');
+        }
+        values.push_back(v);
+        i = close + 1;
+    }
+    if (i >= name.size()) {
+        return false;  // controls with no inner gate name
+    }
+    rest = name.substr(i);
+    return true;
+}
+
+std::optional<GateSpec>
+wrap_if_match(const Gate& gate, GateSpec spec)
+{
+    try {
+        if (same_gate(build_gate(spec, gate.dims()), gate)) {
+            return spec;
+        }
+    } catch (const std::invalid_argument&) {
+        // A candidate that cannot even be built is simply not a match.
+    }
+    return std::nullopt;
+}
+
+std::shared_ptr<const GateSpec>
+boxed(GateSpec spec)
+{
+    return std::make_shared<const GateSpec>(std::move(spec));
+}
+
+}  // namespace
+
+bool
+registry_has_family(const std::string& family)
+{
+    if (fixed_families().count(family) != 0) {
+        return true;
+    }
+    static const std::vector<std::string> kParametric = {
+        "P",     "RZ",          "Xpow",        "shift",   "unshift",
+        "Zd",    "fourier",     "swap_levels", "phase_level",
+        "embed", "controlled",  "inverse",
+    };
+    return std::find(kParametric.begin(), kParametric.end(), family) !=
+           kParametric.end();
+}
+
+std::vector<std::string>
+registry_families()
+{
+    std::vector<std::string> out;
+    for (const auto& [family, factory] : fixed_families()) {
+        (void)factory;
+        out.push_back(family);
+    }
+    for (const char* f : {"P", "RZ", "Xpow", "shift", "unshift", "Zd",
+                          "fourier", "swap_levels", "phase_level", "embed",
+                          "controlled", "inverse"}) {
+        out.emplace_back(f);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+Gate
+build_gate(const GateSpec& spec, const std::vector<int>& operand_dims)
+{
+    const auto need = [&spec](bool ok, const char* what) {
+        if (!ok) {
+            throw std::invalid_argument("gate family '" + spec.family +
+                                        "': " + what);
+        }
+    };
+    if (const auto it = fixed_families().find(spec.family);
+        it != fixed_families().end()) {
+        need(spec.iparams.empty() && spec.rparams.empty() && !spec.base,
+             "takes no parameters");
+        return it->second();
+    }
+    if (spec.family == "P" || spec.family == "RZ" || spec.family == "Xpow") {
+        need(spec.rparams.size() == 1 && spec.iparams.empty() && !spec.base,
+             "expects exactly one real parameter");
+        const Real r = spec.rparams[0];
+        return spec.family == "P" ? P(r) : spec.family == "RZ" ? RZ(r)
+                                                               : Xpow(r);
+    }
+    if (spec.family == "inverse") {
+        need(static_cast<bool>(spec.base) && spec.iparams.empty() &&
+                 spec.rparams.empty(),
+             "expects a base gate");
+        return build_gate(*spec.base, operand_dims).inverse();
+    }
+    if (spec.family == "controlled") {
+        need(static_cast<bool>(spec.base), "expects a base gate");
+        const std::size_t k = spec.iparams.size();
+        need(k >= 1 && k < operand_dims.size() && spec.rparams.empty(),
+             "control count must be in [1, arity)");
+        const std::vector<int> control_dims(operand_dims.begin(),
+                                            operand_dims.begin() +
+                                                static_cast<long>(k));
+        const std::vector<int> inner_dims(operand_dims.begin() +
+                                              static_cast<long>(k),
+                                          operand_dims.end());
+        const Gate inner = build_gate(*spec.base, inner_dims);
+        // Gate::controlled validates value ranges against control_dims.
+        return inner.controlled(control_dims, spec.iparams);
+    }
+    // Remaining families read the qudit dimension from the operand wire.
+    need(!operand_dims.empty(), "needs at least one operand wire");
+    const int d = operand_dims[0];
+    if (spec.family == "embed") {
+        need(static_cast<bool>(spec.base) && spec.iparams.empty() &&
+                 spec.rparams.empty(),
+             "expects a base qubit gate");
+        return embed(build_gate(*spec.base, {2}), d);
+    }
+    need(!spec.base, "takes no base gate");
+    if (spec.family == "shift" || spec.family == "unshift" ||
+        spec.family == "Zd" || spec.family == "fourier") {
+        need(spec.iparams.empty() && spec.rparams.empty(),
+             "takes no parameters");
+        return spec.family == "shift"     ? shift(d)
+               : spec.family == "unshift" ? unshift(d)
+               : spec.family == "Zd"      ? Zd(d)
+                                          : fourier(d);
+    }
+    if (spec.family == "swap_levels") {
+        need(spec.iparams.size() == 2 && spec.rparams.empty(),
+             "expects two integer levels");
+        // swap_levels validates the levels against d itself.
+        return swap_levels(d, spec.iparams[0], spec.iparams[1]);
+    }
+    if (spec.family == "phase_level") {
+        need(spec.iparams.size() == 1 && spec.rparams.size() == 1,
+             "expects one level and one angle");
+        return phase_level(d, spec.iparams[0], spec.rparams[0]);
+    }
+    throw std::invalid_argument("unknown gate family '" + spec.family + "'");
+}
+
+std::optional<GateSpec>
+recognize_gate(const Gate& gate)
+{
+    const std::string& name = gate.name();
+    const std::vector<int>& dims = gate.dims();
+
+    // 1. Fixed gates, matched by their (unique) gate names.
+    if (const auto it = fixed_by_gate_name().find(name);
+        it != fixed_by_gate_name().end()) {
+        if (auto spec = wrap_if_match(gate, GateSpec{it->second, {}, {}, {}})) {
+            return spec;
+        }
+    }
+
+    // 2. Inverse: "...†" round-trips exactly because dagger is an exact
+    // elementwise conjugate-transpose (involutive bitwise).
+    if (name.size() > 3 &&
+        name.compare(name.size() - 3, 3, kDagger) == 0) {
+        const Gate base_gate(name.substr(0, name.size() - 3), dims,
+                             gate.matrix().dagger());
+        if (auto base = recognize_gate(base_gate)) {
+            if (auto spec = wrap_if_match(
+                    gate, GateSpec{"inverse", {}, {}, boxed(*base)})) {
+                return spec;
+            }
+        }
+    }
+
+    // 3. Controlled: peel the "C[v]..." prefix, recognize the active block.
+    {
+        std::vector<int> values;
+        std::string rest;
+        if (parse_control_prefix(name, values, rest) &&
+            values.size() < dims.size()) {
+            const std::size_t k = values.size();
+            std::size_t ctrl_block = 1;
+            bool in_range = true;
+            for (std::size_t i = 0; i < k; ++i) {
+                in_range = in_range && values[i] < dims[i];
+                ctrl_block *= static_cast<std::size_t>(dims[i]);
+            }
+            if (in_range) {
+                const std::size_t inner_n =
+                    static_cast<std::size_t>(gate.block_size()) / ctrl_block;
+                std::size_t active = 0;
+                for (std::size_t i = 0; i < k; ++i) {
+                    active = active * static_cast<std::size_t>(dims[i]) +
+                             static_cast<std::size_t>(values[i]);
+                }
+                Matrix inner_m(inner_n, inner_n);
+                for (std::size_t r = 0; r < inner_n; ++r) {
+                    for (std::size_t c = 0; c < inner_n; ++c) {
+                        inner_m(r, c) = gate.matrix()(active * inner_n + r,
+                                                      active * inner_n + c);
+                    }
+                }
+                const std::vector<int> inner_dims(
+                    dims.begin() + static_cast<long>(k), dims.end());
+                if (auto base = recognize_gate(
+                        Gate(rest, inner_dims, std::move(inner_m)))) {
+                    if (auto spec = wrap_if_match(
+                            gate,
+                            GateSpec{"controlled", values, {}, boxed(*base)})) {
+                        return spec;
+                    }
+                }
+            }
+        }
+    }
+
+    if (gate.arity() != 1) {
+        return std::nullopt;
+    }
+    const int d = dims[0];
+
+    // 4. Embedded qubit gates: "<base>_dN" with the 2x2 block top-left.
+    const std::string embed_suffix = "_d" + std::to_string(d);
+    if (d > 2 && name.size() > embed_suffix.size() &&
+        name.compare(name.size() - embed_suffix.size(), embed_suffix.size(),
+                     embed_suffix) == 0) {
+        Matrix top(2, 2);
+        for (std::size_t r = 0; r < 2; ++r) {
+            for (std::size_t c = 0; c < 2; ++c) {
+                top(r, c) = gate.matrix()(r, c);
+            }
+        }
+        if (auto base = recognize_gate(
+                Gate(name.substr(0, name.size() - embed_suffix.size()), {2},
+                     std::move(top)))) {
+            if (auto spec = wrap_if_match(
+                    gate, GateSpec{"embed", {}, {}, boxed(*base)})) {
+                return spec;
+            }
+        }
+    }
+
+    // 5. Structural single-qudit families (dimension from the wire).
+    for (const char* family : {"shift", "unshift", "Zd", "fourier"}) {
+        if (auto spec = wrap_if_match(gate, GateSpec{family, {}, {}, {}})) {
+            return spec;
+        }
+    }
+    for (int a = 0; a < d; ++a) {
+        for (int b = a + 1; b < d; ++b) {
+            if (auto spec = wrap_if_match(
+                    gate, GateSpec{"swap_levels", {a, b}, {}, {}})) {
+                return spec;
+            }
+        }
+    }
+
+    // 6. Parametric diagonals / roots: recover the angle analytically and
+    // keep the spec only when the rebuild is bitwise identical (atan2 of a
+    // rounded sin/cos pair can land one ulp off; the raw-matrix fallback
+    // stays exact in that case).
+    if (d == 2) {
+        const Complex e11 = gate.matrix()(1, 1);
+        const Real phi = std::atan2(e11.imag(), e11.real());
+        if (auto spec = wrap_if_match(gate, GateSpec{"P", {}, {phi}, {}})) {
+            return spec;
+        }
+        if (auto spec = wrap_if_match(
+                gate, GateSpec{"RZ", {}, {2 * phi}, {}})) {
+            return spec;
+        }
+        const Complex a = gate.matrix()(0, 0);
+        // Xpow(t): diagonal entry a = (1 + e^{i pi t}) / 2.
+        const Complex e = Complex(2, 0) * a - Complex(1, 0);
+        const Real t = std::atan2(e.imag(), e.real()) / kPi;
+        if (auto spec = wrap_if_match(gate, GateSpec{"Xpow", {}, {t}, {}})) {
+            return spec;
+        }
+    }
+    if (gate.is_diagonal_gate()) {
+        for (int level = 0; level < d; ++level) {
+            const Complex v = gate.matrix()(static_cast<std::size_t>(level),
+                                            static_cast<std::size_t>(level));
+            if (v == Complex(1, 0)) {
+                continue;
+            }
+            const Real phi = std::atan2(v.imag(), v.real());
+            if (auto spec = wrap_if_match(
+                    gate, GateSpec{"phase_level", {level}, {phi}, {}})) {
+                return spec;
+            }
+        }
+    }
+    return std::nullopt;
 }
 
 }  // namespace qd::gates

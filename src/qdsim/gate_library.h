@@ -9,6 +9,11 @@
 #ifndef QDSIM_GATE_LIBRARY_H
 #define QDSIM_GATE_LIBRARY_H
 
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
 #include "qdsim/gate.h"
 
 namespace qd::gates {
@@ -82,6 +87,49 @@ Gate embed(const Gate& qubit_gate, int d);
 
 /** Gate from an explicit unitary; permutation action derived if possible. */
 Gate from_matrix(std::string name, std::vector<int> dims, Matrix m);
+
+// ------------------------------------------------------------- registry ---
+//
+// Name -> factory registry used by the circuit IR (src/qdsim/ir/): a
+// GateSpec identifies a library gate family plus its parameters, so a
+// serialized circuit can reconstruct library gates canonically instead of
+// shipping raw matrices. Structural families (shift, swap_levels, ...)
+// derive their qudit dimension from the operand wires at build time;
+// wrapper families (controlled, embed, inverse) nest a base spec.
+
+/** A registered gate family plus the parameters that select one member. */
+struct GateSpec {
+    std::string family;                     ///< registered family name
+    std::vector<int> iparams;               ///< integer params (levels, control values)
+    std::vector<Real> rparams;              ///< real params (angles, exponents)
+    std::shared_ptr<const GateSpec> base;   ///< wrapped spec (controlled/embed/inverse)
+};
+
+/** True when `family` names a registered gate family. */
+bool registry_has_family(const std::string& family);
+
+/** Every registered family name, in stable (sorted) order. */
+std::vector<std::string> registry_families();
+
+/**
+ * Rebuilds the gate a spec describes for operands of the given dims.
+ * Fixed-dimension families (X, CNOT, H3, ...) ignore `operand_dims`;
+ * structural families read the qudit dimension from `operand_dims[0]`
+ * (controlled splits it into control dims + inner dims).
+ *
+ * @throws std::invalid_argument on an unknown family or bad parameters.
+ */
+Gate build_gate(const GateSpec& spec, const std::vector<int>& operand_dims);
+
+/**
+ * Tries to express `gate` as a registered family + parameters such that
+ * `build_gate(spec, gate.dims())` reproduces it BITWISE: same name, same
+ * dims, and a matrix whose every entry has identical bit patterns. Returns
+ * nullopt when no canonical reconstruction matches — IR serialization then
+ * falls back to the exact raw-matrix form, so round-trips stay lossless
+ * either way.
+ */
+std::optional<GateSpec> recognize_gate(const Gate& gate);
 
 }  // namespace qd::gates
 

@@ -1,0 +1,41 @@
+/**
+ * @file errors.h
+ * Structured decode failures for the circuit IR (.qdj).
+ *
+ * Every rejection of untrusted IR carries a stable dotted error id
+ * ("qdj.syntax", "qdj.unknown-gate", ...) plus the source line and the op
+ * index it is anchored to, so service front-ends can return machine-
+ * readable rejections the same way verify:: findings do.
+ */
+#ifndef QDSIM_IR_ERRORS_H
+#define QDSIM_IR_ERRORS_H
+
+#include <stdexcept>
+#include <string>
+
+namespace qd::ir {
+
+/** One structured decode failure. */
+struct Error {
+    std::string id;       ///< stable dotted id, e.g. "qdj.syntax"
+    std::string message;  ///< human-readable detail
+    int line = 0;         ///< 1-based line in the .qdj text (0 = unknown)
+    long op_index = -1;   ///< op the failure is anchored to (-1 = document)
+};
+
+/** Thrown by the .qdj decoder; carries the structured Error. */
+class ParseError : public std::runtime_error {
+ public:
+    explicit ParseError(Error e);
+
+    const Error& error() const { return error_; }
+
+ private:
+    static std::string format(const Error& e);
+
+    Error error_;
+};
+
+}  // namespace qd::ir
+
+#endif  // QDSIM_IR_ERRORS_H

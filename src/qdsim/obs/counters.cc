@@ -38,6 +38,10 @@ counter_name(Counter c) noexcept
         "fusion_cap_truncations",
         "fusion_cost_accepted",
         "fusion_cost_rejected",
+        "service_hits",
+        "service_misses",
+        "service_evictions",
+        "service_rejects",
         "traj_shots",
         "traj_batches",
         "traj_gate_error_draws",

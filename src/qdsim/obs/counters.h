@@ -79,6 +79,11 @@ enum class Counter : unsigned {
     kFusionCapTruncations,   ///< merges rejected by a fusion block cap
     kFusionCostAccepted,     ///< stage-2 union merges the cost model accepted
     kFusionCostRejected,     ///< stage-2 candidates rejected by the cost model
+    // Compile service (exec/compile_service.cc).
+    kServiceHits,        ///< artifact-cache hits (compile + verify skipped)
+    kServiceMisses,      ///< artifact-cache misses (fresh compile)
+    kServiceEvictions,   ///< LRU evictions past the configured capacity
+    kServiceRejects,     ///< admissions rejected by the verify gate
     // Trajectory divergence events (noise/trajectory.cc).
     kTrajShots,
     kTrajBatches,           ///< batched shot groups (NOT batch-invariant)

@@ -1,7 +1,9 @@
 #include "qdsim/simulator.h"
 
 #include <algorithm>
+#include <memory>
 
+#include "qdsim/exec/compile_service.h"
 #include "qdsim/obs/trace.h"
 #include "qdsim/verify/verify.h"
 
@@ -9,14 +11,28 @@ namespace qd {
 
 // Noiseless compilation has no channel boundaries to respect, so the
 // circuit-taking entry points compile with the fusion stage enabled
-// (exec::FusionOptions defaults); callers needing the unfused reference
-// compile an exec::CompiledCircuit(circuit) themselves.
+// (exec::FusionOptions defaults). Compilation routes through the
+// CompileService's global artifact cache, which also runs the verify
+// admission gate under QD_VERIFY=strict (the same analysis
+// verify::enforce ran here before the service existed); callers needing
+// the unfused reference compile an exec::CompiledCircuit(circuit)
+// themselves.
+
+namespace {
+
+std::shared_ptr<const exec::CompiledArtifact>
+compile_state(const Circuit& circuit)
+{
+    return exec::CompileService::global().compile(circuit,
+                                                  exec::FusionOptions{});
+}
+
+}  // namespace
 
 void
 apply_circuit(const Circuit& circuit, StateVector& psi)
 {
-    verify::enforce(circuit);
-    exec::CompiledCircuit(circuit, exec::FusionOptions{}).run(psi);
+    compile_state(circuit)->state->run(psi);
 }
 
 StateVector
@@ -25,17 +41,14 @@ simulate(const Circuit& circuit)
     // The compile phase (CompiledCircuit ctor) and the execute phase
     // (CompiledCircuit::run) each emit their own span.
     obs::ScopedSpan span("sim", "simulate");
-    verify::enforce(circuit);
-    return simulate(exec::CompiledCircuit(circuit, exec::FusionOptions{}));
+    return simulate(*compile_state(circuit)->state);
 }
 
 StateVector
 simulate(const Circuit& circuit, const StateVector& initial)
 {
     obs::ScopedSpan span("sim", "simulate");
-    verify::enforce(circuit);
-    return simulate(exec::CompiledCircuit(circuit, exec::FusionOptions{}),
-                    initial);
+    return simulate(*compile_state(circuit)->state, initial);
 }
 
 StateVector
@@ -57,9 +70,7 @@ simulate(const exec::CompiledCircuit& compiled, const StateVector& initial)
 Matrix
 circuit_unitary(const Circuit& circuit)
 {
-    verify::enforce(circuit);
-    return circuit_unitary(
-        exec::CompiledCircuit(circuit, exec::FusionOptions{}));
+    return circuit_unitary(*compile_state(circuit)->state);
 }
 
 Matrix

@@ -21,6 +21,7 @@
 #include "qdsim/exec/apply_plan.h"
 #include "qdsim/exec/batched_kernels.h"
 #include "qdsim/exec/batched_state.h"
+#include "qdsim/exec/compile_service.h"
 #include "qdsim/exec/compiled_circuit.h"
 #include "qdsim/exec/superop.h"
 #include "qdsim/gate_library.h"
@@ -309,6 +310,9 @@ run_trials_snapshot(const Circuit& circuit, int trials, int threads,
     options.seed = 909;
     options.threads = threads;
     options.batch = batch;
+    // Drop cached compile-service artifacts so every run pays the same
+    // compile-phase counters (a warm cache would skip them).
+    exec::CompileService::global().clear();
     obs::reset_counters();
     noise::run_noisy_trials(circuit, noise::sc(), options);
     return obs::counters_snapshot();

@@ -6,7 +6,10 @@
  * executing a single kernel.
  *
  * Usage:
- *   qd_lint                 lint the circuit corpus + noise models
+ *   qd_lint [FILE.qdj...]   lint the circuit corpus + noise models, plus
+ *                           any .qdj files through the CompileService's
+ *                           untrusted-IR admission gate (the exact path
+ *                           qd_run admits jobs through)
  *   qd_lint --all           corpus + noise + salt coverage + self-test
  *   qd_lint --self-test     seed known-bad artifacts, require detection
  *   qd_lint --classify      add per-gate classification info findings
@@ -17,8 +20,11 @@
  * error finding or self-test failure, 2 on bad usage.
  */
 #include <cstdio>
+#include <fstream>
 #include <functional>
 #include <iostream>
+#include <optional>
+#include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -30,8 +36,10 @@
 #include "constructions/incrementer.h"
 #include "noise/channels.h"
 #include "noise/models.h"
+#include "qdsim/exec/compile_service.h"
 #include "qdsim/exec/kernels.h"
 #include "qdsim/gate_library.h"
+#include "qdsim/ir/ir.h"
 #include "qdsim/verify/fusion_audit.h"
 #include "qdsim/verify/noise_audit.h"
 #include "qdsim/verify/plan_audit.h"
@@ -175,6 +183,41 @@ lint_noise_models()
     return out;
 }
 
+// ----------------------------------------------------------- .qdj files
+
+/**
+ * Lints untrusted .qdj text through the exact admission path qd_run
+ * executes through: decode (stable qdj.* ids on failure, surfaced as
+ * error findings) then CompileService::admission_report under
+ * Admission::kAlways, with the job's noise preset resolved when named.
+ */
+Report
+lint_qdj(const std::string& text)
+{
+    qd::ir::Job job;
+    try {
+        job = qd::ir::job_from_qdj(text);
+    } catch (const qd::ir::ParseError& e) {
+        return qd::ir::to_report(e.error());
+    }
+    qd::exec::FusionOptions fusion;
+    fusion.enabled = job.fusion;
+    if (job.noise.empty()) {
+        return qd::exec::CompileService::admission_report(
+            job.circuit, qd::exec::Admission::kAlways, fusion);
+    }
+    const std::optional<qd::noise::NoiseModel> model =
+        qd::noise::model_by_name(job.noise);
+    if (!model) {
+        Report report;
+        report.add("qdj.job", Severity::kError, -1,
+                   "unknown noise preset: " + job.noise);
+        return report;
+    }
+    return qd::exec::CompileService::admission_report(
+        job.circuit, *model, qd::exec::Admission::kAlways, fusion);
+}
+
 // ------------------------------------------------------------- self-test
 
 struct Seed {
@@ -188,10 +231,16 @@ build_seeds()
 {
     using qd::verify::Options;
     std::vector<Seed> seeds;
-    const auto analyze_raw = [](const WireDims& dims,
-                                std::vector<Operation> ops,
-                                Options options = {}) {
-        return qd::verify::analyze_ops(dims, ops, options);
+    // Circuit-level seeds analyze under the CompileService's untrusted-IR
+    // admission profile, so the self-test proves the exact gate qd_run
+    // admits jobs through (dead-code lint on, non-unitary rejected).
+    const Options base = qd::exec::CompileService::admission_options(
+        qd::exec::Admission::kAlways);
+    const auto analyze_raw = [base](const WireDims& dims,
+                                    std::vector<Operation> ops,
+                                    std::optional<Options> options = {}) {
+        return qd::verify::analyze_ops(dims, ops,
+                                       options ? *options : base);
     };
 
     seeds.push_back({"out-of-range wire", "circuit.wire-bounds", [=] {
@@ -228,19 +277,19 @@ build_seeds()
         Circuit c(WireDims::uniform(2, 2));
         c.append(qd::gates::H(), {0});
         c.append(qd::gates::H(), {0});
-        return qd::verify::analyze(c);
+        return qd::verify::analyze(c, base);
     }});
     seeds.push_back({"dirty ancilla", "qutrit.dirty-ancilla", [=] {
         Circuit c(WireDims::uniform(2, 3));
         c.append(qd::gates::X01(), {1});
-        Options options;
+        Options options = base;
         options.ancilla_wires = {1};
         return qd::verify::analyze(c, options);
     }});
     seeds.push_back({"|2> at output", "qutrit.leaked-two", [=] {
         Circuit c(WireDims::uniform(1, 3));
         c.append(qd::gates::Xplus1(), {0});
-        Options options;
+        Options options = base;
         options.expect_qubit_io = true;
         return qd::verify::analyze(c, options);
     }});
@@ -366,6 +415,7 @@ main(int argc, char** argv)
     bool everything = false;
     bool list_only = false;
     std::string json_path;
+    std::vector<std::string> qdj_files;
     for (int i = 1; i < argc; ++i) {
         const std::string_view arg = argv[i];
         if (arg == "--classify") {
@@ -378,9 +428,12 @@ main(int argc, char** argv)
             list_only = true;
         } else if (arg == "--json" && i + 1 < argc) {
             json_path = argv[++i];
+        } else if (!arg.empty() && arg[0] != '-') {
+            qdj_files.emplace_back(arg);
         } else {
             std::cerr << "usage: qd_lint [--all] [--self-test] "
-                         "[--classify] [--json FILE] [--list]\n";
+                         "[--classify] [--json FILE] [--list] "
+                         "[FILE.qdj...]\n";
             return 2;
         }
     }
@@ -422,6 +475,16 @@ main(int argc, char** argv)
     }
     for (const NoiseEntry& entry : lint_noise_models()) {
         record(entry.name, entry.report);
+    }
+    for (const std::string& file : qdj_files) {
+        std::ifstream in(file);
+        if (!in) {
+            std::cerr << "qd_lint: cannot read " << file << "\n";
+            return 2;
+        }
+        std::ostringstream text;
+        text << in.rdbuf();
+        record("qdj/" + file, lint_qdj(text.str()));
     }
     if (everything) {
         Report salt;

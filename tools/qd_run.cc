@@ -1,0 +1,361 @@
+/**
+ * @file qd_run.cc
+ * Execution front-end for .qdj jobs: every circuit enters through the
+ * CompileService with Admission::kAlways (untrusted-IR verification), so
+ * malformed or illegal input is rejected with a stable error id instead
+ * of executing, and repeated submissions of the same job hit the
+ * cross-request artifact cache (reported via the obs service counters).
+ *
+ * Usage:
+ *   qd_run [--json FILE] [--repeat N] JOB.qdj...
+ *   qd_run --write-corpus DIR      write the reference job corpus and exit
+ *
+ * Per job the engine field selects the execution path:
+ *   "state"       simulate from |0...0>; reports the output norm
+ *   "trajectory"  run_noisy_trials (shots/seed/batch); mean fidelity
+ *   "density"     density_matrix_fidelity from |0...0>
+ *
+ * Exit status: 0 when every job ran, 1 on any rejection or execution
+ * failure, 2 on bad usage or unreadable input.
+ */
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "noise/density_matrix.h"
+#include "noise/models.h"
+#include "noise/trajectory.h"
+#include "qdsim/exec/compile_service.h"
+#include "qdsim/gate_library.h"
+#include "qdsim/ir/ir.h"
+#include "qdsim/obs/report.h"
+#include "qdsim/simulator.h"
+
+namespace {
+
+using qd::Circuit;
+using qd::StateVector;
+using qd::WireDims;
+
+/** Result of one job submission, in report order. */
+struct Outcome {
+    std::string file;
+    std::string name;
+    std::string engine;
+    std::string status = "ok";  ///< "ok" | "rejected" | "failed"
+    std::string error_id;       ///< stable qdj.* / verify rule id
+    std::string message;
+    double value = 0;      ///< norm (state) or mean fidelity (noisy)
+    double std_error = 0;  ///< trajectory 1-sigma standard error
+    double seconds = 0;
+};
+
+std::string
+json_escape(const std::string& s)
+{
+    std::string out;
+    for (const char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+Outcome
+run_job(const std::string& path, const std::string& text, int repeat)
+{
+    Outcome out;
+    out.file = path;
+
+    qd::ir::Job job;
+    try {
+        job = qd::ir::job_from_qdj(text);
+    } catch (const qd::ir::ParseError& e) {
+        out.status = "rejected";
+        out.error_id = e.error().id;
+        out.message = e.what();
+        return out;
+    }
+    out.name = job.name.empty() ? path : job.name;
+    out.engine = job.engine;
+
+    std::optional<qd::noise::NoiseModel> model;
+    if (!job.noise.empty()) {
+        model = qd::noise::model_by_name(job.noise);
+        if (!model) {
+            out.status = "rejected";
+            out.error_id = "qdj.job";
+            out.message = "unknown noise preset: " + job.noise;
+            return out;
+        }
+    }
+
+    qd::exec::FusionOptions fusion;
+    fusion.enabled = job.fusion;
+    qd::exec::CompileService& service = qd::exec::CompileService::global();
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+        for (int r = 0; r < repeat; ++r) {
+            if (job.engine == "state") {
+                const auto artifact = service.compile(
+                    job.circuit, fusion, qd::exec::Admission::kAlways);
+                const StateVector psi = qd::simulate(*artifact->state);
+                double norm = 0;
+                for (qd::Index i = 0; i < psi.size(); ++i) {
+                    norm += std::norm(psi[i]);
+                }
+                out.value = norm;
+            } else if (job.engine == "trajectory") {
+                const auto artifact = service.compile(
+                    job.circuit, *model, qd::exec::EngineKind::kTrajectory,
+                    fusion, qd::exec::Admission::kAlways);
+                qd::noise::TrajectoryOptions options;
+                options.trials = job.shots;
+                options.seed = job.seed;
+                options.batch = job.batch;
+                const qd::noise::TrajectoryResult res =
+                    qd::noise::run_noisy_trials(*artifact->trajectory,
+                                                options);
+                out.value = res.mean_fidelity;
+                out.std_error = res.std_error;
+            } else {  // "density" (job_from_qdj validated the field)
+                const auto artifact = service.compile(
+                    job.circuit, *model, qd::exec::EngineKind::kDensity,
+                    fusion, qd::exec::Admission::kAlways);
+                const StateVector initial(artifact->density->dims());
+                out.value = qd::noise::density_matrix_fidelity(
+                    *artifact->density, initial);
+            }
+        }
+    } catch (const qd::verify::VerificationError& e) {
+        out.status = "rejected";
+        out.error_id = e.report().findings().empty()
+                           ? "verify"
+                           : e.report().findings().front().rule;
+        out.message = e.what();
+    } catch (const std::exception& e) {
+        out.status = "failed";
+        out.message = e.what();
+    }
+    out.seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    return out;
+}
+
+/** The committed bench/jobs reference corpus: one job per engine, small
+ *  enough for CI, all on calibrated presets. */
+std::vector<qd::ir::Job>
+reference_corpus()
+{
+    // Shared 2-qutrit workload: layered H3 + controlled-X+1 (entangling),
+    // mirrors the obs invariance tests' noisy workload.
+    Circuit noisy(WireDims::uniform(2, 3));
+    for (int l = 0; l < 2; ++l) {
+        noisy.append(qd::gates::H3(), {0});
+        noisy.append(qd::gates::H3(), {1});
+        noisy.append(qd::gates::Xplus1().controlled(3, 1), {0, 1});
+    }
+
+    // Wider ideal workload for the state engine: a 4-qutrit ladder.
+    Circuit ladder(WireDims::uniform(4, 3));
+    for (int w = 0; w < 4; ++w) {
+        ladder.append(qd::gates::H3(), {w});
+    }
+    for (int w = 0; w + 1 < 4; ++w) {
+        ladder.append(qd::gates::Xplus1().controlled(3, 1), {w, w + 1});
+    }
+    ladder.append(qd::gates::Z3(), {3});
+
+    std::vector<qd::ir::Job> jobs;
+    {
+        qd::ir::Job j;
+        j.name = "state-qutrit-ladder-n4";
+        j.engine = "state";
+        j.circuit = ladder;
+        jobs.push_back(std::move(j));
+    }
+    {
+        qd::ir::Job j;
+        j.name = "traj-qutrit-cx-sc";
+        j.engine = "trajectory";
+        j.shots = 200;
+        j.seed = 2019;
+        j.noise = "SC";
+        j.circuit = noisy;
+        jobs.push_back(std::move(j));
+    }
+    {
+        qd::ir::Job j;
+        j.name = "density-qutrit-cx-sc";
+        j.engine = "density";
+        j.noise = "SC";
+        j.circuit = noisy;
+        jobs.push_back(std::move(j));
+    }
+    return jobs;
+}
+
+int
+write_corpus(const std::string& dir)
+{
+    for (const qd::ir::Job& job : reference_corpus()) {
+        const std::string path = dir + "/" + job.name + ".qdj";
+        std::ofstream out(path);
+        if (!out) {
+            std::fprintf(stderr, "qd_run: cannot write %s\n",
+                         path.c_str());
+            return 2;
+        }
+        out << qd::ir::to_qdj(job);
+        std::printf("wrote %s\n", path.c_str());
+    }
+    return 0;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string json_path;
+    std::string corpus_dir;
+    int repeat = 1;
+    std::vector<std::string> files;
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        if (arg == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (arg == "--repeat" && i + 1 < argc) {
+            repeat = std::atoi(argv[++i]);
+        } else if (arg == "--write-corpus" && i + 1 < argc) {
+            corpus_dir = argv[++i];
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr,
+                         "usage: qd_run [--json FILE] [--repeat N] "
+                         "JOB.qdj...\n       qd_run --write-corpus DIR\n");
+            return 2;
+        } else {
+            files.emplace_back(arg);
+        }
+    }
+    if (!corpus_dir.empty()) {
+        return write_corpus(corpus_dir);
+    }
+    if (files.empty() || repeat <= 0) {
+        std::fprintf(stderr,
+                     "usage: qd_run [--json FILE] [--repeat N] "
+                     "JOB.qdj...\n       qd_run --write-corpus DIR\n");
+        return 2;
+    }
+
+    // Instrument the whole run so the cache-traffic counters land in the
+    // result JSON; restore the ambient switch afterwards.
+    const bool was_enabled = qd::obs::enabled();
+    qd::obs::set_enabled(true);
+    qd::obs::reset_counters();
+
+    std::vector<Outcome> outcomes;
+    int ok = 0, rejected = 0, failed = 0;
+    for (const std::string& file : files) {
+        std::ifstream in(file);
+        if (!in) {
+            std::fprintf(stderr, "qd_run: cannot read %s\n", file.c_str());
+            qd::obs::set_enabled(was_enabled);
+            return 2;
+        }
+        std::ostringstream text;
+        text << in.rdbuf();
+        const Outcome out = run_job(file, text.str(), repeat);
+        if (out.status == "ok") {
+            ++ok;
+            std::printf("%-28s %-10s ok     %.6f", out.name.c_str(),
+                        out.engine.c_str(), out.value);
+            if (out.std_error > 0) {
+                std::printf(" +- %.6f", out.std_error);
+            }
+            std::printf("  (%.3fs)\n", out.seconds);
+        } else {
+            if (out.status == "rejected") {
+                ++rejected;
+            } else {
+                ++failed;
+            }
+            std::printf("%-28s %-10s %s [%s] %s\n",
+                        (out.name.empty() ? out.file : out.name).c_str(),
+                        out.engine.c_str(), out.status.c_str(),
+                        out.error_id.c_str(), out.message.c_str());
+        }
+        outcomes.push_back(out);
+    }
+
+    const qd::obs::SimReport rep = qd::obs::report_snapshot();
+    qd::obs::set_enabled(was_enabled);
+    using qd::obs::Counter;
+    const auto hits = rep.counters[Counter::kServiceHits];
+    const auto misses = rep.counters[Counter::kServiceMisses];
+    const auto rejects = rep.counters[Counter::kServiceRejects];
+    std::printf(
+        "qd_run: %d ok, %d rejected, %d failed; service hits=%llu "
+        "misses=%llu\n",
+        ok, rejected, failed, static_cast<unsigned long long>(hits),
+        static_cast<unsigned long long>(misses));
+
+    if (!json_path.empty()) {
+        std::FILE* f = std::fopen(json_path.c_str(), "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "qd_run: cannot write %s\n",
+                         json_path.c_str());
+            return 2;
+        }
+        std::fputs("{\n  \"jobs\": [\n", f);
+        for (std::size_t i = 0; i < outcomes.size(); ++i) {
+            const Outcome& o = outcomes[i];
+            std::fprintf(
+                f,
+                "    {\"file\": \"%s\", \"name\": \"%s\", "
+                "\"engine\": \"%s\", \"status\": \"%s\", "
+                "\"error_id\": \"%s\", \"value\": %.17g, "
+                "\"std_error\": %.17g, \"seconds\": %.6f}%s\n",
+                json_escape(o.file).c_str(), json_escape(o.name).c_str(),
+                json_escape(o.engine).c_str(),
+                json_escape(o.status).c_str(),
+                json_escape(o.error_id).c_str(), o.value, o.std_error,
+                o.seconds, i + 1 == outcomes.size() ? "" : ",");
+        }
+        std::fprintf(f,
+                     "  ],\n  \"ok\": %d,\n  \"rejected\": %d,\n"
+                     "  \"failed\": %d,\n  \"repeat\": %d,\n",
+                     ok, rejected, failed, repeat);
+        std::fprintf(f,
+                     "  \"obs_service_hits\": %llu,\n"
+                     "  \"obs_service_misses\": %llu,\n"
+                     "  \"obs_service_rejects\": %llu\n}\n",
+                     static_cast<unsigned long long>(hits),
+                     static_cast<unsigned long long>(misses),
+                     static_cast<unsigned long long>(rejects));
+        if (std::fclose(f) != 0) {
+            return 2;
+        }
+        std::printf("wrote %s\n", json_path.c_str());
+    }
+    return rejected > 0 || failed > 0 ? 1 : 0;
+}
