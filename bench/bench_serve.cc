@@ -1,0 +1,154 @@
+/**
+ * Serving-layer throughput: the qd_served request path (NDJSON frame →
+ * decode → CompileService → engine → result frame) replayed through the
+ * single-client stdin loop, where job order and cache traffic are
+ * deterministic.
+ *
+ * Workload: the bench-corpus 2-qutrit trajectory job (layered H3 +
+ * controlled-X+1 under the SC preset). Two measurements:
+ *   1. warm jobs/sec — resubmissions against a warm CompiledArtifact
+ *      (the daemon's steady state: decode + cache hit + shots),
+ *   2. cold jobs/sec — every submission pays verify + compile too,
+ * and their ratio (speedup), the machine-independent number CI gates.
+ *
+ * The instrumented section replays a fixed 16-submission burst with
+ * counters on: 16 accepted, 16 ok, 15 warm hits (exactly one cold
+ * compile), 1 connection — gated exactly in CI via compare_bench.py.
+ * warm_jobs_per_sec is also tracked min-mode against a deliberately
+ * conservative baseline (~10% of a dev-box measurement) as a
+ * machine-tolerant floor against order-of-magnitude collapses.
+ *
+ * Knobs: QD_SERVE_SHOTS (default 64), QD_SERVE_WARM (default 256),
+ * QD_SERVE_COLD (default 5).
+ */
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "bench_util.h"
+#include "noise/models.h"
+#include "qdsim/gate_library.h"
+#include "qdsim/ir/ir.h"
+#include "serve/daemon.h"
+#include "serve/protocol.h"
+#include "serve/run.h"
+
+namespace {
+
+using namespace qd;
+
+double
+now_ms()
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Runs `reps` copies of `submit_line` through the stdin loop,
+ *  discarding the response frames; returns elapsed milliseconds. */
+double
+replay_ms(const std::string& submit_line, int reps)
+{
+    std::string input;
+    for (int r = 0; r < reps; ++r) {
+        input += submit_line;
+        input += '\n';
+    }
+    std::istringstream in(input);
+    std::ostringstream out;
+    const double t0 = now_ms();
+    (void)serve::run_stdin_loop(in, out);
+    return now_ms() - t0;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    bench::banner("bench_serve: qd_served request-path throughput",
+                  "stdin-loop replay of the bench-corpus trajectory job; "
+                  "warm vs cold submissions");
+
+    const int shots = bench::env_int("QD_SERVE_SHOTS", 64);
+    const int warm_reps = bench::env_int("QD_SERVE_WARM", 256);
+    const int cold_reps = bench::env_int("QD_SERVE_COLD", 5);
+
+    Circuit circuit(WireDims::uniform(2, 3));
+    for (int l = 0; l < 2; ++l) {
+        circuit.append(gates::H3(), {0});
+        circuit.append(gates::H3(), {1});
+        circuit.append(gates::Xplus1().controlled(3, 1), {0, 1});
+    }
+    ir::Job job;
+    job.name = "traj-qutrit-cx-sc";
+    job.engine = "trajectory";
+    job.shots = shots;
+    job.seed = 2019;
+    job.noise = "SC";
+    job.circuit = circuit;
+    const std::string submit_line =
+        "{\"type\": \"submit\", \"id\": \"bench\", \"qdj\": \"" +
+        serve::json_escape(ir::to_qdj(job)) + "\"}";
+    std::printf("%s\n\n", circuit.summary("workload").c_str());
+
+    // 1. Warm: seed the global artifact cache, then replay. Every
+    // submission decodes + hits the cache + runs its shots.
+    exec::CompileService::global().clear();
+    (void)replay_ms(submit_line, 1);
+    const double warm_ms = replay_ms(submit_line, warm_reps) / warm_reps;
+    const double warm_jps = 1000.0 / warm_ms;
+
+    // 2. Cold: every submission also pays admission verify + compile.
+    double cold_total = 0;
+    for (int r = 0; r < cold_reps; ++r) {
+        exec::CompileService::global().clear();
+        cold_total += replay_ms(submit_line, 1);
+    }
+    const double cold_ms = cold_total / cold_reps;
+    const double cold_jps = 1000.0 / cold_ms;
+    const double speedup = cold_ms / warm_ms;
+
+    std::printf("warm submission: %10.3f ms  (%8.1f jobs/sec)\n", warm_ms,
+                warm_jps);
+    std::printf("cold submission: %10.3f ms  (%8.1f jobs/sec)\n", cold_ms,
+                cold_jps);
+    std::printf("amortization:    %10.2fx per request after the first\n\n",
+                speedup);
+
+    // 3. Instrumented burst: 16 identical submissions through one loop
+    // (ObsSection clears the global service) — 16 accepted, 16 ok,
+    // exactly 1 cold compile then 15 warm hits, 1 connection.
+    const int burst = 16;
+    bench::ObsSection obs_section(bench::trace_flag(argc, argv));
+    {
+        std::string input;
+        for (int r = 0; r < burst; ++r) {
+            input += submit_line;
+            input += '\n';
+        }
+        std::istringstream in(input);
+        std::ostringstream out;
+        (void)serve::run_stdin_loop(in, out);
+    }
+    const obs::SimReport rep = obs_section.finish();
+    exec::CompileService::global().clear();
+    std::printf("%s\n", rep.to_string().c_str());
+
+    bench::JsonWriter jw;
+    jw.str("workload", "qutrit_cx_sc_trajectory_submit_stream")
+        .integer("shots", shots)
+        .integer("warm_reps", warm_reps)
+        .integer("cold_reps", cold_reps)
+        .integer("burst", burst)
+        .num("warm_ms_per_job", warm_ms)
+        .num("cold_ms_per_job", cold_ms)
+        .num("warm_jobs_per_sec", warm_jps, "%.1f")
+        .num("cold_jobs_per_sec", cold_jps, "%.1f")
+        .num("speedup", speedup, "%.4f")
+        .report(rep);
+    jw.write("BENCH_serve.json");
+    return 0;
+}

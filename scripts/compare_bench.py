@@ -78,6 +78,19 @@ TRACKED = {
         {"metric": "obs_service_hits", "mode": "exact"},
         {"metric": "obs_service_misses", "mode": "exact"},
     ],
+    # The serving layer (qd_served / run_stdin_loop): speedup is the
+    # cold-vs-warm full-request ratio (decode + compile + execute),
+    # warm_jobs_per_sec a deliberately conservative throughput floor
+    # (baseline ~10% of a dev-box run — catches order-of-magnitude
+    # collapses, not runner variance), and the obs_serve_* counters pin
+    # bench_serve's instrumented 16-submission burst exactly.
+    "BENCH_serve.json": [
+        "speedup",
+        "warm_jobs_per_sec",
+        {"metric": "obs_serve_jobs_accepted", "mode": "exact"},
+        {"metric": "obs_serve_jobs_ok", "mode": "exact"},
+        {"metric": "obs_serve_warm_hits", "mode": "exact"},
+    ],
 }
 
 MODES = ("min", "exact", "max")
@@ -306,6 +319,28 @@ def self_test():
              json.dumps({"speedup": 40.0, "obs_service_hits": 14,
                          "obs_service_misses": 2}),
              tracked=service)
+    # The BENCH_serve.json gate shape: request-path speedup, the
+    # conservative throughput floor, and the exact serve counters from
+    # the 16-submission burst.
+    serve = {"BENCH_fixture.json": [
+        "speedup",
+        "warm_jobs_per_sec",
+        {"metric": "obs_serve_warm_hits", "mode": "exact"},
+    ]}
+    serve_base = json.dumps({"speedup": 3.0, "warm_jobs_per_sec": 500.0,
+                             "obs_serve_warm_hits": 15})
+    scenario("serve-shape gate passes", 0, serve_base,
+             json.dumps({"speedup": 2.8, "warm_jobs_per_sec": 5000.0,
+                         "obs_serve_warm_hits": 15}),
+             tracked=serve)
+    scenario("serve throughput collapse fails", 1, serve_base,
+             json.dumps({"speedup": 3.0, "warm_jobs_per_sec": 50.0,
+                         "obs_serve_warm_hits": 15}),
+             tracked=serve)
+    scenario("serve warm-hit drift fails", 1, serve_base,
+             json.dumps({"speedup": 3.0, "warm_jobs_per_sec": 5000.0,
+                         "obs_serve_warm_hits": 0}),
+             tracked=serve)
     scenario("top-level array fails schema", 1, ok,
              json.dumps([{"speedup": 2.0}]))
     scenario("boolean metric fails schema", 1, ok,

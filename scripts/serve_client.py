@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Concurrent replay client for the qd_served daemon (CI harness).
+
+Usage:
+  serve_client.py --socket PATH [--clients N] [--repeat K]
+                  [--reference qd_run_results.json] [--out FILE]
+                  JOB.qdj...
+
+Connects N clients concurrently to a running qd_served; each client
+submits every job file K times (ids "<client>:<round>:<name>"), collects
+all result frames, then sends a shutdown frame and expects a bye. When
+--reference points at a qd_run --json output, every result value must be
+EXACTLY equal (bitwise, via JSON float round-trip) to the reference job
+of the same name — the daemon and qd_run share one execution facade and
+the trajectory engine is deterministic per seed, so any difference is a
+serving-layer bug, not noise.
+
+Exit status: 0 when every submission produced an ok result (and matched
+the reference, if given); 1 otherwise. --out writes a JSON summary.
+"""
+
+import argparse
+import json
+import os
+import socket
+import sys
+import threading
+import time
+
+
+def wait_for_socket(path, timeout_s=10.0):
+    deadline = time.time() + timeout_s
+    while time.time() < deadline:
+        if os.path.exists(path):
+            return True
+        time.sleep(0.05)
+    return False
+
+
+class ClientRun:
+    def __init__(self, index, socket_path, jobs, repeat):
+        self.index = index
+        self.socket_path = socket_path
+        self.jobs = jobs          # name -> qdj text
+        self.repeat = repeat
+        self.results = {}         # id -> result object
+        self.errors = []          # error strings
+
+    def run(self):
+        try:
+            self._run()
+        except Exception as err:  # noqa: BLE001 - report, don't hang CI
+            self.errors.append(f"client {self.index}: {err!r}")
+
+    def _run(self):
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.connect(self.socket_path)
+        stream = sock.makefile("rw", encoding="utf-8")
+        pending = set()
+        for r in range(self.repeat):
+            for name, text in self.jobs.items():
+                job_id = f"{self.index}:{r}:{name}"
+                frame = {"type": "submit", "id": job_id, "qdj": text}
+                stream.write(json.dumps(frame) + "\n")
+                pending.add(job_id)
+        stream.flush()
+        while pending:
+            line = stream.readline()
+            if not line:
+                self.errors.append(
+                    f"client {self.index}: EOF with {len(pending)} "
+                    f"results outstanding")
+                return
+            frame = json.loads(line)
+            if frame.get("type") == "error":
+                self.errors.append(
+                    f"client {self.index}: error frame "
+                    f"[{frame.get('error_id')}] {frame.get('message')}")
+                pending.discard(frame.get("id"))
+                continue
+            if frame.get("type") != "result":
+                self.errors.append(
+                    f"client {self.index}: unexpected frame {line!r}")
+                continue
+            self.results[frame["id"]] = frame["result"]
+            pending.discard(frame["id"])
+        stream.write('{"type": "shutdown"}\n')
+        stream.flush()
+        bye = stream.readline()
+        if not bye or json.loads(bye).get("type") != "bye":
+            self.errors.append(
+                f"client {self.index}: expected bye frame, got {bye!r}")
+        sock.close()
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--socket", required=True)
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--repeat", type=int, default=2)
+    parser.add_argument("--reference",
+                        help="qd_run --json output to compare values "
+                             "against (exact equality per job name)")
+    parser.add_argument("--out", help="write a JSON summary here")
+    parser.add_argument("jobs", nargs="+", help=".qdj job files")
+    args = parser.parse_args()
+
+    if not wait_for_socket(args.socket):
+        print(f"serve_client: socket {args.socket} never appeared",
+              file=sys.stderr)
+        return 1
+
+    jobs = {}
+    for path in args.jobs:
+        with open(path) as f:
+            text = f.read()
+        name = json.loads(text).get("name") or os.path.basename(path)
+        jobs[name] = text
+
+    reference = {}
+    if args.reference:
+        with open(args.reference) as f:
+            for job in json.load(f)["jobs"]:
+                reference[job["name"]] = job["value"]
+
+    runs = [ClientRun(c, args.socket, jobs, args.repeat)
+            for c in range(args.clients)]
+    threads = [threading.Thread(target=run.run) for run in runs]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    failures = []
+    ok = 0
+    mismatches = 0
+    expected = args.clients * args.repeat * len(jobs)
+    for run in runs:
+        failures.extend(run.errors)
+        for job_id, result in sorted(run.results.items()):
+            if result.get("status") != "ok":
+                failures.append(
+                    f"{job_id}: status {result.get('status')} "
+                    f"[{result.get('error_id')}] {result.get('message')}")
+                continue
+            ok += 1
+            name = result.get("name")
+            if reference and result.get("value") != reference.get(name):
+                mismatches += 1
+                failures.append(
+                    f"{job_id}: value {result.get('value')!r} != "
+                    f"reference {reference.get(name)!r}")
+    if ok != expected:
+        failures.append(f"expected {expected} ok results, got {ok}")
+
+    summary = {
+        "clients": args.clients,
+        "repeat": args.repeat,
+        "jobs_per_client": args.repeat * len(jobs),
+        "expected": expected,
+        "ok": ok,
+        "mismatches": mismatches,
+        "failures": failures,
+    }
+    print(json.dumps(summary, indent=2))
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(summary, f, indent=2)
+            f.write("\n")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

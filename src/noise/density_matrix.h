@@ -163,6 +163,12 @@ class DensityCompilation {
  * Compilation routes through exec::CompileService::global(), so repeated
  * calls with the same (circuit, model, fusion) reuse one
  * DensityCompilation.
+ *
+ * @deprecated For job-stream traffic prefer serve::execute() (serve/run.h),
+ *         which builds the superoperator program once per distinct job and
+ *         returns a uniform RunResult, or the precompiled overload below —
+ *         this convenience overload re-hashes and re-verifies the circuit
+ *         on every call. It remains supported for one-shot callers.
  */
 Real density_matrix_fidelity(const Circuit& circuit, const NoiseModel& model,
                              const StateVector& initial,

@@ -167,6 +167,12 @@ Real run_single_trajectory(const TrajectoryCompilation& compiled,
  * @throws std::invalid_argument if options.trials <= 0, options.batch < 0,
  *         or options.damping_engine is kFused on a register the fused
  *         operator is undefined for (mixed radix or dim > 3).
+ *
+ * @deprecated For job-stream traffic prefer serve::execute() (serve/run.h),
+ *         which routes through the shared CompileService and returns a
+ *         uniform RunResult, or the precompiled overload below — this
+ *         convenience overload verifies and compiles from scratch on
+ *         every call. It remains supported for one-shot callers.
  */
 TrajectoryResult run_noisy_trials(const Circuit& circuit,
                                   const NoiseModel& model,

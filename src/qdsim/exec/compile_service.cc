@@ -133,22 +133,24 @@ CompileService::~CompileService() = default;
 
 std::shared_ptr<const CompiledArtifact>
 CompileService::compile(const Circuit& circuit, const FusionOptions& fusion,
-                        Admission admission)
+                        Admission admission, bool* cache_hit)
 {
     return compile_impl(circuit, nullptr, EngineKind::kState, fusion,
-                        admission);
+                        admission, cache_hit);
 }
 
 std::shared_ptr<const CompiledArtifact>
 CompileService::compile(const Circuit& circuit,
                         const noise::NoiseModel& model, EngineKind engine,
-                        const FusionOptions& fusion, Admission admission)
+                        const FusionOptions& fusion, Admission admission,
+                        bool* cache_hit)
 {
     if (engine == EngineKind::kState) {
         throw std::invalid_argument(
             "CompileService: the state engine takes no noise model");
     }
-    return compile_impl(circuit, &model, engine, fusion, admission);
+    return compile_impl(circuit, &model, engine, fusion, admission,
+                        cache_hit);
 }
 
 std::size_t
@@ -178,8 +180,11 @@ std::shared_ptr<const CompiledArtifact>
 CompileService::compile_impl(const Circuit& circuit,
                              const noise::NoiseModel* model,
                              EngineKind engine, const FusionOptions& fusion,
-                             Admission admission)
+                             Admission admission, bool* cache_hit)
 {
+    if (cache_hit != nullptr) {
+        *cache_hit = false;
+    }
     const bool verify_now =
         admission == Admission::kAlways ||
         (admission == Admission::kDefault && verify::strict());
@@ -199,6 +204,9 @@ CompileService::compile_impl(const Circuit& circuit,
         }
     }
     if (artifact) {
+        if (cache_hit != nullptr) {
+            *cache_hit = true;
+        }
         obs::count(obs::Counter::kServiceHits);
         if (verify_now && !verified_flag(*artifact, admission).load(
                               std::memory_order_acquire)) {

@@ -90,17 +90,22 @@ class CompileService {
     CompileService& operator=(const CompileService&) = delete;
 
     /** Compiles (or returns the cached artifact) for the state engine.
+     *  `cache_hit` (optional) reports whether the request was served from
+     *  a warm artifact — the serving layer's per-job warm/cold signal.
      *  @throws verify::VerificationError when admission rejects. */
     std::shared_ptr<const CompiledArtifact> compile(
         const Circuit& circuit, const FusionOptions& fusion = {},
-        Admission admission = Admission::kDefault);
+        Admission admission = Admission::kDefault,
+        bool* cache_hit = nullptr);
 
     /** Compiles (or returns the cached artifact) for a noisy engine.
+     *  `cache_hit` as above.
      *  @throws verify::VerificationError when admission rejects. */
     std::shared_ptr<const CompiledArtifact> compile(
         const Circuit& circuit, const noise::NoiseModel& model,
         EngineKind engine, const FusionOptions& fusion = {},
-        Admission admission = Admission::kDefault);
+        Admission admission = Admission::kDefault,
+        bool* cache_hit = nullptr);
 
     /** Artifacts currently cached. */
     std::size_t size() const;
@@ -163,7 +168,8 @@ class CompileService {
 
     std::shared_ptr<const CompiledArtifact> compile_impl(
         const Circuit& circuit, const noise::NoiseModel* model,
-        EngineKind engine, const FusionOptions& fusion, Admission admission);
+        EngineKind engine, const FusionOptions& fusion, Admission admission,
+        bool* cache_hit);
 
     mutable std::mutex mu_;
     std::map<Key, Entry> cache_;

@@ -49,6 +49,12 @@ counter_name(Counter c) noexcept
         "traj_damping_jumps",
         "traj_rare_branches",
         "traj_lane_extracts",
+        "serve_connections",
+        "serve_jobs_accepted",
+        "serve_jobs_rejected",
+        "serve_jobs_failed",
+        "serve_jobs_ok",
+        "serve_warm_hits",
         "estimated_flops",
     };
     const auto i = static_cast<std::size_t>(c);

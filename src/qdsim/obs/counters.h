@@ -92,6 +92,15 @@ enum class Counter : unsigned {
     kTrajDampingJumps,      ///< amplitude-damping jump applications
     kTrajRareBranches,      ///< fused idle-damping rare-branch resolutions
     kTrajLaneExtracts,      ///< batched lanes spilled to single-shot code
+    // Serving front-end (src/serve/): the qd_served daemon and the
+    // stdin single-client loop share these through the RunRequest →
+    // RunResult facade.
+    kServeConnections,   ///< client connections accepted (stdin loop = 1)
+    kServeJobsAccepted,  ///< submit frames admitted to the run queue
+    kServeJobsRejected,  ///< protocol/quota/decode/admission rejections
+    kServeJobsFailed,    ///< admitted jobs that threw during execution
+    kServeJobsOk,        ///< admitted jobs that completed successfully
+    kServeWarmHits,      ///< jobs served from a warm CompiledArtifact
     // Work estimate (complex multiply-adds ~ 8 real flops each).
     kEstimatedFlops,
 

@@ -1,0 +1,106 @@
+#include "serve/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace qd::serve {
+
+Client::~Client()
+{
+    close();
+}
+
+bool
+Client::connect(const std::string& socket_path, int max_attempts)
+{
+    sockaddr_un addr{};
+    if (socket_path.size() >= sizeof(addr.sun_path)) {
+        return false;
+    }
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0) {
+            return false;
+        }
+        if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)) == 0) {
+            fd_ = fd;
+            return true;
+        }
+        ::close(fd);
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    return false;
+}
+
+bool
+Client::send_line(const std::string& frame)
+{
+    if (fd_ < 0) {
+        return false;
+    }
+    std::string line = frame;
+    line += '\n';
+    const char* p = line.data();
+    std::size_t left = line.size();
+    while (left > 0) {
+        const ssize_t n = ::send(fd_, p, left, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            return false;
+        }
+        p += n;
+        left -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+std::optional<std::string>
+Client::recv_line()
+{
+    if (fd_ < 0) {
+        return std::nullopt;
+    }
+    for (;;) {
+        const std::size_t pos = acc_.find('\n');
+        if (pos != std::string::npos) {
+            std::string line = acc_.substr(0, pos);
+            acc_.erase(0, pos + 1);
+            return line;
+        }
+        char buf[4096];
+        const ssize_t n = ::read(fd_, buf, sizeof(buf));
+        if (n < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            return std::nullopt;
+        }
+        if (n == 0) {
+            return std::nullopt;
+        }
+        acc_.append(buf, static_cast<std::size_t>(n));
+    }
+}
+
+void
+Client::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+}  // namespace qd::serve

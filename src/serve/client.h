@@ -1,0 +1,44 @@
+/**
+ * @file client.h
+ * Minimal blocking NDJSON client for a qd_served Unix-domain socket —
+ * the counterpart tests (and embedding tools) drive the daemon with.
+ * One frame per send_line()/recv_line(); framing newlines are handled
+ * internally.
+ */
+#ifndef SERVE_CLIENT_H
+#define SERVE_CLIENT_H
+
+#include <optional>
+#include <string>
+
+namespace qd::serve {
+
+class Client {
+ public:
+    Client() = default;
+    ~Client();
+    Client(const Client&) = delete;
+    Client& operator=(const Client&) = delete;
+
+    /** Connects to the daemon socket. Retries briefly (the daemon may
+     *  still be binding); returns false when the connect never lands. */
+    bool connect(const std::string& socket_path, int max_attempts = 50);
+
+    bool connected() const { return fd_ >= 0; }
+
+    /** Sends one frame (the trailing '\n' is added). */
+    bool send_line(const std::string& frame);
+
+    /** Receives the next frame, blocking; nullopt on EOF/error. */
+    std::optional<std::string> recv_line();
+
+    void close();
+
+ private:
+    int fd_ = -1;
+    std::string acc_;
+};
+
+}  // namespace qd::serve
+
+#endif  // SERVE_CLIENT_H

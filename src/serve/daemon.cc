@@ -1,0 +1,576 @@
+#include "serve/daemon.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <istream>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "qdsim/obs/counters.h"
+
+namespace qd::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+since(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/** Admission cost of one job against the per-client shot quota. */
+long long
+job_cost(const ir::Job& job)
+{
+    return job.engine == "trajectory"
+               ? std::max(1LL, static_cast<long long>(job.shots))
+               : 1;
+}
+
+bool
+blank_line(std::string_view line)
+{
+    return line.find_first_not_of(" \t\r") == std::string_view::npos;
+}
+
+ir::Error
+serve_error(std::string id, std::string message)
+{
+    ir::Error e;
+    e.id = std::move(id);
+    e.message = std::move(message);
+    return e;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------ Daemon
+
+namespace {
+
+/** One client connection. `fd`, `queued` and `shots` are guarded by the
+ *  daemon mutex; `wmu` serializes frame writes (workers stream results
+ *  directly, racing the reader's inline stats/error frames). */
+struct Conn {
+    int fd = -1;
+    std::mutex wmu;
+    long long queued = 0;  ///< outstanding jobs (queued + executing)
+    long long shots = 0;   ///< in-flight shot cost
+    std::thread reader;
+};
+
+/** One admitted job waiting for (or on) a worker. */
+struct Task {
+    std::shared_ptr<Conn> conn;
+    std::string id;
+    RunRequest request;
+    long long cost = 0;
+};
+
+}  // namespace
+
+struct Daemon::Impl {
+    DaemonOptions opts;
+    std::string path;
+    int listen_fd = -1;
+    Clock::time_point start = Clock::now();
+
+    mutable std::mutex mu;
+    std::condition_variable cv_work;  ///< workers: queue / drain state
+    std::condition_variable cv_done;  ///< drain waiters: job completions
+    std::deque<Task> queue;
+    std::vector<std::shared_ptr<Conn>> conns;
+    ServeStats st;
+    int in_flight = 0;
+    bool draining = false;
+    bool paused = false;
+    bool stopped = false;
+
+    std::thread acceptor;
+    std::vector<std::thread> workers;
+
+    /** Writes one frame + newline; write failures (client gone) are
+     *  deliberately ignored — the job already ran, nothing to undo. */
+    void write_frame(Conn& conn, const std::string& frame)
+    {
+        const std::lock_guard<std::mutex> lock(conn.wmu);
+        std::string line = frame;
+        line += '\n';
+        const char* p = line.data();
+        std::size_t left = line.size();
+        while (left > 0) {
+            const ssize_t n =
+                ::send(conn.fd, p, left, MSG_NOSIGNAL);
+            if (n < 0) {
+                if (errno == EINTR) {
+                    continue;
+                }
+                return;
+            }
+            p += n;
+            left -= static_cast<std::size_t>(n);
+        }
+    }
+
+    void count_rejected()
+    {
+        obs::count(obs::Counter::kServeJobsRejected);
+        const std::lock_guard<std::mutex> lock(mu);
+        ++st.jobs_rejected;
+    }
+
+    /** Admission gate (see daemon.h for the check order). */
+    std::optional<ir::Error> admit(const std::shared_ptr<Conn>& conn,
+                                   std::string id, RunRequest request)
+    {
+        const long long cost = job_cost(request.job);
+        const std::lock_guard<std::mutex> lock(mu);
+        if (draining) {
+            return serve_error("serve.draining",
+                               "daemon is shutting down");
+        }
+        if (queue.size() >= opts.queue_capacity) {
+            return serve_error("serve.queue", "admission queue is full");
+        }
+        if (conn->queued >= opts.max_client_queued) {
+            return serve_error(
+                "serve.quota",
+                "client outstanding-job quota exceeded (" +
+                    std::to_string(opts.max_client_queued) + ")");
+        }
+        if (conn->shots + cost > opts.max_client_shots) {
+            return serve_error(
+                "serve.quota",
+                "client in-flight shot quota exceeded (" +
+                    std::to_string(opts.max_client_shots) + ")");
+        }
+        ++conn->queued;
+        conn->shots += cost;
+        queue.push_back(
+            Task{conn, std::move(id), std::move(request), cost});
+        ++st.jobs_accepted;
+        st.queue_peak = std::max<std::uint64_t>(st.queue_peak,
+                                                queue.size());
+        obs::count(obs::Counter::kServeJobsAccepted);
+        cv_work.notify_one();
+        return std::nullopt;
+    }
+
+    /** Handles one NDJSON line. Returns false on a shutdown frame. */
+    bool handle_line(const std::shared_ptr<Conn>& conn,
+                     const std::string& line)
+    {
+        if (blank_line(line)) {
+            return true;
+        }
+        auto parsed = parse_frame(line);
+        if (const ir::Error* err = std::get_if<ir::Error>(&parsed)) {
+            count_rejected();
+            write_frame(*conn, error_frame("", *err));
+            return true;
+        }
+        Frame& frame = std::get<Frame>(parsed);
+        if (frame.type == Frame::Type::kStats) {
+            write_frame(*conn, stats_frame(stats_locked()));
+            return true;
+        }
+        if (frame.type == Frame::Type::kShutdown) {
+            return false;
+        }
+        RunRequest request;
+        try {
+            request = RunRequest::from_qdj(frame.qdj);
+        } catch (const ir::ParseError& e) {
+            count_rejected();
+            write_frame(*conn, error_frame(frame.id, e.error()));
+            return true;
+        }
+        request.threads = opts.engine_threads;
+        request.admission = opts.admission;
+        if (auto err =
+                admit(conn, frame.id, std::move(request))) {
+            count_rejected();
+            write_frame(*conn, error_frame(frame.id, *err));
+        }
+        return true;
+    }
+
+    void reader_loop(std::shared_ptr<Conn> conn)
+    {
+        std::string acc;
+        char buf[4096];
+        bool shutdown_frame = false;
+        while (!shutdown_frame) {
+            const ssize_t n = ::read(conn->fd, buf, sizeof(buf));
+            if (n < 0) {
+                if (errno == EINTR) {
+                    continue;
+                }
+                break;
+            }
+            if (n == 0) {
+                break;  // EOF, or wait() issued SHUT_RD
+            }
+            acc.append(buf, static_cast<std::size_t>(n));
+            std::size_t pos;
+            while ((pos = acc.find('\n')) != std::string::npos) {
+                const std::string line = acc.substr(0, pos);
+                acc.erase(0, pos + 1);
+                if (!handle_line(conn, line)) {
+                    shutdown_frame = true;
+                    break;
+                }
+            }
+        }
+        if (!shutdown_frame && !blank_line(acc)) {
+            handle_line(conn, acc);  // lenient: final unterminated frame
+        }
+        // Flush before close: every admitted job's result frame must be
+        // on the wire before the connection goes away.
+        {
+            std::unique_lock<std::mutex> lock(mu);
+            cv_done.wait(lock, [&] { return conn->queued == 0; });
+        }
+        if (shutdown_frame) {
+            write_frame(*conn, bye_frame());
+        }
+        {
+            const std::lock_guard<std::mutex> lock(mu);
+            ::close(conn->fd);
+            conn->fd = -1;
+        }
+    }
+
+    void worker_loop()
+    {
+        for (;;) {
+            Task task;
+            {
+                std::unique_lock<std::mutex> lock(mu);
+                cv_work.wait(lock, [&] {
+                    return (!paused && !queue.empty()) ||
+                           (draining && queue.empty());
+                });
+                if (queue.empty()) {
+                    return;  // draining and nothing left
+                }
+                task = std::move(queue.front());
+                queue.pop_front();
+                ++in_flight;
+            }
+
+            const RunResult result = execute(task.request);
+            write_frame(*task.conn, result_frame(task.id, result));
+
+            if (result.warm) {
+                obs::count(obs::Counter::kServeWarmHits);
+            }
+            if (result.ok()) {
+                obs::count(obs::Counter::kServeJobsOk);
+            } else if (result.status == "rejected") {
+                obs::count(obs::Counter::kServeJobsRejected);
+            } else {
+                obs::count(obs::Counter::kServeJobsFailed);
+            }
+            {
+                const std::lock_guard<std::mutex> lock(mu);
+                --in_flight;
+                --task.conn->queued;
+                task.conn->shots -= task.cost;
+                if (result.warm) {
+                    ++st.warm_hits;
+                }
+                if (result.ok()) {
+                    ++st.jobs_ok;
+                    if (task.request.job.engine == "trajectory") {
+                        st.shots_executed +=
+                            static_cast<std::uint64_t>(task.cost);
+                    }
+                } else if (result.status == "rejected") {
+                    ++st.jobs_rejected;
+                } else {
+                    ++st.jobs_failed;
+                }
+                cv_done.notify_all();
+            }
+        }
+    }
+
+    void acceptor_loop()
+    {
+        for (;;) {
+            {
+                const std::lock_guard<std::mutex> lock(mu);
+                if (draining) {
+                    break;
+                }
+            }
+            pollfd p{};
+            p.fd = listen_fd;
+            p.events = POLLIN;
+            const int r = ::poll(&p, 1, 100);
+            if (r <= 0) {
+                continue;  // timeout or EINTR: re-check draining
+            }
+            const int fd = ::accept(listen_fd, nullptr, nullptr);
+            if (fd < 0) {
+                continue;
+            }
+            // A connection that reached accept() is served even when
+            // draining began concurrently — its submits get structured
+            // serve.draining rejections instead of a silent close.
+            auto conn = std::make_shared<Conn>();
+            conn->fd = fd;
+            {
+                const std::lock_guard<std::mutex> lock(mu);
+                conns.push_back(conn);
+                ++st.connections;
+            }
+            obs::count(obs::Counter::kServeConnections);
+            conn->reader =
+                std::thread([this, conn] { reader_loop(conn); });
+        }
+        ::close(listen_fd);
+        listen_fd = -1;
+    }
+
+    ServeStats stats_locked() const
+    {
+        const std::lock_guard<std::mutex> lock(mu);
+        ServeStats snap = st;
+        snap.uptime_seconds = since(start);
+        return snap;
+    }
+};
+
+Daemon::Daemon(DaemonOptions options) : impl_(std::make_unique<Impl>())
+{
+    impl_->opts = options;
+    impl_->opts.workers = std::max(1, options.workers);
+    impl_->opts.queue_capacity =
+        std::max<std::size_t>(1, options.queue_capacity);
+    impl_->paused = options.start_paused;
+}
+
+Daemon::~Daemon()
+{
+    wait();
+}
+
+void
+Daemon::listen(const std::string& socket_path)
+{
+    sockaddr_un addr{};
+    if (socket_path.size() >= sizeof(addr.sun_path)) {
+        throw std::runtime_error("qd_served: socket path too long: " +
+                                 socket_path);
+    }
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        throw std::runtime_error("qd_served: socket() failed");
+    }
+    ::unlink(socket_path.c_str());  // replace a stale socket file
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(fd, 64) != 0) {
+        ::close(fd);
+        throw std::runtime_error("qd_served: cannot bind " + socket_path);
+    }
+
+    impl_->path = socket_path;
+    impl_->listen_fd = fd;
+    impl_->start = Clock::now();
+    for (int w = 0; w < impl_->opts.workers; ++w) {
+        impl_->workers.emplace_back(
+            [impl = impl_.get()] { impl->worker_loop(); });
+    }
+    impl_->acceptor =
+        std::thread([impl = impl_.get()] { impl->acceptor_loop(); });
+}
+
+void
+Daemon::resume()
+{
+    {
+        const std::lock_guard<std::mutex> lock(impl_->mu);
+        impl_->paused = false;
+    }
+    impl_->cv_work.notify_all();
+}
+
+void
+Daemon::begin_shutdown()
+{
+    {
+        const std::lock_guard<std::mutex> lock(impl_->mu);
+        impl_->draining = true;
+    }
+    impl_->cv_work.notify_all();
+}
+
+void
+Daemon::wait()
+{
+    {
+        const std::lock_guard<std::mutex> lock(impl_->mu);
+        if (impl_->stopped) {
+            return;
+        }
+        impl_->stopped = true;
+    }
+    begin_shutdown();
+    if (impl_->acceptor.joinable()) {
+        impl_->acceptor.join();
+    }
+    {
+        // Drain: every admitted job executed and its result written.
+        std::unique_lock<std::mutex> lock(impl_->mu);
+        impl_->cv_done.wait(lock, [&] {
+            return impl_->queue.empty() && impl_->in_flight == 0;
+        });
+        // Unblock readers parked in read(): they see EOF, observe their
+        // connection drained, and close.
+        for (const auto& conn : impl_->conns) {
+            if (conn->fd >= 0) {
+                ::shutdown(conn->fd, SHUT_RD);
+            }
+        }
+    }
+    for (const auto& conn : impl_->conns) {
+        if (conn->reader.joinable()) {
+            conn->reader.join();
+        }
+    }
+    impl_->cv_work.notify_all();  // workers exit: draining && empty
+    for (std::thread& w : impl_->workers) {
+        w.join();
+    }
+    impl_->workers.clear();
+    if (!impl_->path.empty()) {
+        ::unlink(impl_->path.c_str());
+    }
+}
+
+ServeStats
+Daemon::stats() const
+{
+    return impl_->stats_locked();
+}
+
+const std::string&
+Daemon::socket_path() const
+{
+    return impl_->path;
+}
+
+// -------------------------------------------------------------- stdin loop
+
+ServeStats
+run_stdin_loop(std::istream& in, std::ostream& out,
+               const DaemonOptions& options)
+{
+    const auto start = Clock::now();
+    ServeStats st;
+    st.connections = 1;
+    obs::count(obs::Counter::kServeConnections);
+
+    const auto emit = [&out](const std::string& frame) {
+        out << frame << '\n';
+        out.flush();
+    };
+
+    std::string line;
+    bool shutdown_frame = false;
+    while (!shutdown_frame && std::getline(in, line)) {
+        if (blank_line(line)) {
+            continue;
+        }
+        auto parsed = parse_frame(line);
+        if (const ir::Error* err = std::get_if<ir::Error>(&parsed)) {
+            ++st.jobs_rejected;
+            obs::count(obs::Counter::kServeJobsRejected);
+            emit(error_frame("", *err));
+            continue;
+        }
+        Frame& frame = std::get<Frame>(parsed);
+        if (frame.type == Frame::Type::kStats) {
+            st.uptime_seconds = since(start);
+            emit(stats_frame(st));
+            continue;
+        }
+        if (frame.type == Frame::Type::kShutdown) {
+            shutdown_frame = true;
+            break;
+        }
+
+        RunRequest request;
+        try {
+            request = RunRequest::from_qdj(frame.qdj);
+        } catch (const ir::ParseError& e) {
+            ++st.jobs_rejected;
+            obs::count(obs::Counter::kServeJobsRejected);
+            emit(error_frame(frame.id, e.error()));
+            continue;
+        }
+        request.threads = options.engine_threads;
+        request.admission = options.admission;
+        const long long cost = job_cost(request.job);
+        if (cost > options.max_client_shots) {
+            ++st.jobs_rejected;
+            obs::count(obs::Counter::kServeJobsRejected);
+            emit(error_frame(
+                frame.id,
+                serve_error("serve.quota",
+                            "client in-flight shot quota exceeded (" +
+                                std::to_string(options.max_client_shots) +
+                                ")")));
+            continue;
+        }
+
+        ++st.jobs_accepted;
+        obs::count(obs::Counter::kServeJobsAccepted);
+        const RunResult result = execute(request);
+        if (result.warm) {
+            ++st.warm_hits;
+            obs::count(obs::Counter::kServeWarmHits);
+        }
+        if (result.ok()) {
+            ++st.jobs_ok;
+            obs::count(obs::Counter::kServeJobsOk);
+            if (request.job.engine == "trajectory") {
+                st.shots_executed += static_cast<std::uint64_t>(cost);
+            }
+        } else if (result.status == "rejected") {
+            ++st.jobs_rejected;
+            obs::count(obs::Counter::kServeJobsRejected);
+        } else {
+            ++st.jobs_failed;
+            obs::count(obs::Counter::kServeJobsFailed);
+        }
+        emit(result_frame(frame.id, result));
+    }
+    emit(bye_frame());
+    st.uptime_seconds = since(start);
+    return st;
+}
+
+}  // namespace qd::serve

@@ -1,0 +1,139 @@
+#include "serve/protocol.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "qdsim/ir/json.h"
+
+namespace qd::serve {
+
+namespace {
+
+ir::Error
+frame_error(std::string id, std::string message, int line = 0)
+{
+    ir::Error e;
+    e.id = std::move(id);
+    e.message = std::move(message);
+    e.line = line;
+    return e;
+}
+
+}  // namespace
+
+std::variant<Frame, ir::Error>
+parse_frame(std::string_view line)
+{
+    ir::json::Value doc;
+    try {
+        doc = ir::json::parse(line);
+    } catch (const ir::ParseError& e) {
+        return frame_error("serve.frame", e.error().message,
+                           e.error().line);
+    }
+    if (!doc.is(ir::json::Value::Kind::kObject)) {
+        return frame_error("serve.frame", "frame must be a JSON object",
+                           doc.line);
+    }
+    const ir::json::Value* type = doc.find("type");
+    if (type == nullptr || !type->is(ir::json::Value::Kind::kString)) {
+        return frame_error("serve.frame",
+                           "frame is missing the \"type\" string",
+                           doc.line);
+    }
+
+    Frame frame;
+    if (type->string == "stats") {
+        frame.type = Frame::Type::kStats;
+        return frame;
+    }
+    if (type->string == "shutdown") {
+        frame.type = Frame::Type::kShutdown;
+        return frame;
+    }
+    if (type->string != "submit") {
+        return frame_error("serve.type",
+                           "unknown frame type: " + type->string,
+                           type->line);
+    }
+
+    frame.type = Frame::Type::kSubmit;
+    const ir::json::Value* id = doc.find("id");
+    if (id == nullptr) {
+        return frame_error("serve.submit",
+                           "submit frame is missing \"id\"", doc.line);
+    }
+    if (id->is(ir::json::Value::Kind::kString)) {
+        frame.id = id->string;
+    } else if (id->is(ir::json::Value::Kind::kNumber) && id->integral) {
+        frame.id = std::to_string(id->integer);
+    } else {
+        return frame_error("serve.submit",
+                           "\"id\" must be a string or integer", id->line);
+    }
+    const ir::json::Value* qdj = doc.find("qdj");
+    if (qdj == nullptr || !qdj->is(ir::json::Value::Kind::kString)) {
+        return frame_error("serve.submit",
+                           "submit frame is missing the \"qdj\" string",
+                           doc.line);
+    }
+    frame.qdj = qdj->string;
+    return frame;
+}
+
+std::string
+ServeStats::to_json() const
+{
+    const std::uint64_t executed = jobs_ok + jobs_failed;
+    char buf[640];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"obs_serve_connections\": %" PRIu64
+        ", \"obs_serve_jobs_accepted\": %" PRIu64
+        ", \"obs_serve_jobs_ok\": %" PRIu64
+        ", \"obs_serve_jobs_rejected\": %" PRIu64
+        ", \"obs_serve_jobs_failed\": %" PRIu64
+        ", \"obs_serve_warm_hits\": %" PRIu64
+        ", \"serve_shots_executed\": %" PRIu64
+        ", \"serve_queue_peak\": %" PRIu64
+        ", \"serve_warm_hit_rate\": %.6f"
+        ", \"uptime_seconds\": %.6f}",
+        connections, jobs_accepted, jobs_ok, jobs_rejected, jobs_failed,
+        warm_hits, shots_executed, queue_peak,
+        static_cast<double>(warm_hits) /
+            static_cast<double>(executed == 0 ? 1 : executed),
+        uptime_seconds);
+    return buf;
+}
+
+std::string
+result_frame(const std::string& id, const RunResult& result)
+{
+    return "{\"type\": \"result\", \"id\": \"" + json_escape(id) +
+           "\", \"result\": " + result.to_json() + "}";
+}
+
+std::string
+error_frame(const std::string& id, const ir::Error& error)
+{
+    return "{\"type\": \"error\", \"id\": \"" + json_escape(id) +
+           "\", \"error_id\": \"" + json_escape(error.id) +
+           "\", \"message\": \"" + json_escape(error.message) +
+           "\", \"line\": " + std::to_string(error.line) + "}";
+}
+
+std::string
+stats_frame(const ServeStats& stats)
+{
+    return "{\"type\": \"stats\", \"schema\": " +
+           std::to_string(kRunResultSchema) +
+           ", \"stats\": " + stats.to_json() + "}";
+}
+
+std::string
+bye_frame()
+{
+    return "{\"type\": \"bye\"}";
+}
+
+}  // namespace qd::serve

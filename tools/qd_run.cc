@@ -1,9 +1,12 @@
 /**
  * @file qd_run.cc
- * Execution front-end for .qdj jobs: every circuit enters through the
- * CompileService with Admission::kAlways (untrusted-IR verification), so
- * malformed or illegal input is rejected with a stable error id instead
- * of executing, and repeated submissions of the same job hit the
+ * Execution front-end for .qdj jobs, built on the serve::RunRequest →
+ * RunResult facade (src/serve/run.h) — the exact request path the
+ * qd_served daemon serves, so both front-ends emit the same result
+ * schema. Every circuit enters through the CompileService with
+ * Admission::kAlways (untrusted-IR verification), so malformed or
+ * illegal input is rejected with a stable error id instead of
+ * executing, and repeated submissions of the same job hit the
  * cross-request artifact cache (reported via the obs service counters).
  *
  * Usage:
@@ -15,150 +18,59 @@
  *   "trajectory"  run_noisy_trials (shots/seed/batch); mean fidelity
  *   "density"     density_matrix_fidelity from |0...0>
  *
+ * --repeat N resubmits each job N times from ONE parse (decode happens
+ * once per file; compile + execute repeat), so repeat timing measures
+ * execution and cache traffic, not parsing.
+ *
+ * --json writes result schema v2: {"schema": 2, "jobs": [<RunResult
+ * JSON>...], summary keys}. v2 replaces the v1 ad-hoc job objects with
+ * serve::RunResult::to_json() — new fields schema/message/warm/repeat
+ * and the compile_seconds/exec_seconds timing split; the v1 fields
+ * (file/name/engine/status/error_id/value/std_error/seconds) and the
+ * top-level summary keys are unchanged.
+ *
  * Exit status: 0 when every job ran, 1 on any rejection or execution
  * failure, 2 on bad usage or unreadable input.
  */
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
-#include <optional>
 #include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
 
-#include "noise/density_matrix.h"
-#include "noise/models.h"
-#include "noise/trajectory.h"
-#include "qdsim/exec/compile_service.h"
 #include "qdsim/gate_library.h"
 #include "qdsim/ir/ir.h"
 #include "qdsim/obs/report.h"
-#include "qdsim/simulator.h"
+#include "serve/run.h"
 
 namespace {
 
 using qd::Circuit;
-using qd::StateVector;
 using qd::WireDims;
+using qd::serve::RunRequest;
+using qd::serve::RunResult;
 
-/** Result of one job submission, in report order. */
-struct Outcome {
-    std::string file;
-    std::string name;
-    std::string engine;
-    std::string status = "ok";  ///< "ok" | "rejected" | "failed"
-    std::string error_id;       ///< stable qdj.* / verify rule id
-    std::string message;
-    double value = 0;      ///< norm (state) or mean fidelity (noisy)
-    double std_error = 0;  ///< trajectory 1-sigma standard error
-    double seconds = 0;
-};
-
-std::string
-json_escape(const std::string& s)
+/** Decodes and executes one job file through the shared serve facade. */
+RunResult
+run_file(const std::string& path, const std::string& text, int repeat)
 {
-    std::string out;
-    for (const char c : s) {
-        switch (c) {
-        case '"': out += "\\\""; break;
-        case '\\': out += "\\\\"; break;
-        case '\n': out += "\\n"; break;
-        case '\t': out += "\\t"; break;
-        default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
-}
-
-Outcome
-run_job(const std::string& path, const std::string& text, int repeat)
-{
-    Outcome out;
-    out.file = path;
-
-    qd::ir::Job job;
+    RunRequest request;
     try {
-        job = qd::ir::job_from_qdj(text);
+        request = RunRequest::from_qdj(text);
     } catch (const qd::ir::ParseError& e) {
-        out.status = "rejected";
-        out.error_id = e.error().id;
-        out.message = e.what();
-        return out;
+        RunResult result = RunResult::rejected(e.error());
+        result.file = path;
+        return result;
     }
-    out.name = job.name.empty() ? path : job.name;
-    out.engine = job.engine;
-
-    std::optional<qd::noise::NoiseModel> model;
-    if (!job.noise.empty()) {
-        model = qd::noise::model_by_name(job.noise);
-        if (!model) {
-            out.status = "rejected";
-            out.error_id = "qdj.job";
-            out.message = "unknown noise preset: " + job.noise;
-            return out;
-        }
+    request.repeat = repeat;
+    RunResult result = qd::serve::execute(request);
+    result.file = path;
+    if (result.name.empty()) {
+        result.name = path;
     }
-
-    qd::exec::FusionOptions fusion;
-    fusion.enabled = job.fusion;
-    qd::exec::CompileService& service = qd::exec::CompileService::global();
-    const auto t0 = std::chrono::steady_clock::now();
-    try {
-        for (int r = 0; r < repeat; ++r) {
-            if (job.engine == "state") {
-                const auto artifact = service.compile(
-                    job.circuit, fusion, qd::exec::Admission::kAlways);
-                const StateVector psi = qd::simulate(*artifact->state);
-                double norm = 0;
-                for (qd::Index i = 0; i < psi.size(); ++i) {
-                    norm += std::norm(psi[i]);
-                }
-                out.value = norm;
-            } else if (job.engine == "trajectory") {
-                const auto artifact = service.compile(
-                    job.circuit, *model, qd::exec::EngineKind::kTrajectory,
-                    fusion, qd::exec::Admission::kAlways);
-                qd::noise::TrajectoryOptions options;
-                options.trials = job.shots;
-                options.seed = job.seed;
-                options.batch = job.batch;
-                const qd::noise::TrajectoryResult res =
-                    qd::noise::run_noisy_trials(*artifact->trajectory,
-                                                options);
-                out.value = res.mean_fidelity;
-                out.std_error = res.std_error;
-            } else {  // "density" (job_from_qdj validated the field)
-                const auto artifact = service.compile(
-                    job.circuit, *model, qd::exec::EngineKind::kDensity,
-                    fusion, qd::exec::Admission::kAlways);
-                const StateVector initial(artifact->density->dims());
-                out.value = qd::noise::density_matrix_fidelity(
-                    *artifact->density, initial);
-            }
-        }
-    } catch (const qd::verify::VerificationError& e) {
-        out.status = "rejected";
-        out.error_id = e.report().findings().empty()
-                           ? "verify"
-                           : e.report().findings().front().rule;
-        out.message = e.what();
-    } catch (const std::exception& e) {
-        out.status = "failed";
-        out.message = e.what();
-    }
-    out.seconds = std::chrono::duration<double>(
-                      std::chrono::steady_clock::now() - t0)
-                      .count();
-    return out;
+    return result;
 }
 
 /** The committed bench/jobs reference corpus: one job per engine, small
@@ -273,7 +185,7 @@ main(int argc, char** argv)
     qd::obs::set_enabled(true);
     qd::obs::reset_counters();
 
-    std::vector<Outcome> outcomes;
+    std::vector<RunResult> results;
     int ok = 0, rejected = 0, failed = 0;
     for (const std::string& file : files) {
         std::ifstream in(file);
@@ -284,27 +196,27 @@ main(int argc, char** argv)
         }
         std::ostringstream text;
         text << in.rdbuf();
-        const Outcome out = run_job(file, text.str(), repeat);
-        if (out.status == "ok") {
+        const RunResult res = run_file(file, text.str(), repeat);
+        if (res.ok()) {
             ++ok;
-            std::printf("%-28s %-10s ok     %.6f", out.name.c_str(),
-                        out.engine.c_str(), out.value);
-            if (out.std_error > 0) {
-                std::printf(" +- %.6f", out.std_error);
+            std::printf("%-28s %-10s ok     %.6f", res.name.c_str(),
+                        res.engine.c_str(), res.value);
+            if (res.std_error > 0) {
+                std::printf(" +- %.6f", res.std_error);
             }
-            std::printf("  (%.3fs)\n", out.seconds);
+            std::printf("  (%.3fs)\n", res.seconds);
         } else {
-            if (out.status == "rejected") {
+            if (res.status == "rejected") {
                 ++rejected;
             } else {
                 ++failed;
             }
             std::printf("%-28s %-10s %s [%s] %s\n",
-                        (out.name.empty() ? out.file : out.name).c_str(),
-                        out.engine.c_str(), out.status.c_str(),
-                        out.error_id.c_str(), out.message.c_str());
+                        (res.name.empty() ? res.file : res.name).c_str(),
+                        res.engine.c_str(), res.status.c_str(),
+                        res.error_id.c_str(), res.message.c_str());
         }
-        outcomes.push_back(out);
+        results.push_back(res);
     }
 
     const qd::obs::SimReport rep = qd::obs::report_snapshot();
@@ -326,20 +238,11 @@ main(int argc, char** argv)
                          json_path.c_str());
             return 2;
         }
-        std::fputs("{\n  \"jobs\": [\n", f);
-        for (std::size_t i = 0; i < outcomes.size(); ++i) {
-            const Outcome& o = outcomes[i];
-            std::fprintf(
-                f,
-                "    {\"file\": \"%s\", \"name\": \"%s\", "
-                "\"engine\": \"%s\", \"status\": \"%s\", "
-                "\"error_id\": \"%s\", \"value\": %.17g, "
-                "\"std_error\": %.17g, \"seconds\": %.6f}%s\n",
-                json_escape(o.file).c_str(), json_escape(o.name).c_str(),
-                json_escape(o.engine).c_str(),
-                json_escape(o.status).c_str(),
-                json_escape(o.error_id).c_str(), o.value, o.std_error,
-                o.seconds, i + 1 == outcomes.size() ? "" : ",");
+        std::fprintf(f, "{\n  \"schema\": %d,\n  \"jobs\": [\n",
+                     qd::serve::kRunResultSchema);
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            std::fprintf(f, "    %s%s\n", results[i].to_json().c_str(),
+                         i + 1 == results.size() ? "" : ",");
         }
         std::fprintf(f,
                      "  ],\n  \"ok\": %d,\n  \"rejected\": %d,\n"
